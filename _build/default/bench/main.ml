@@ -1,0 +1,1097 @@
+(* Benchmark harness: regenerates every experiment in EXPERIMENTS.md
+   (E1 .. E10, one per theorem of the paper) and finishes with Bechamel
+   micro-benchmarks of the core machinery.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- e4 e6   # selected experiments
+     dune exec bench/main.exe -- micro   # only the micro-benchmarks
+
+   Numbers are means over replications with a fixed master seed, so
+   output is reproducible run to run. *)
+
+module Prng = Doda_prng.Prng
+module Descriptive = Doda_stats.Descriptive
+module Sequence = Doda_dynamic.Sequence
+module Schedule = Doda_dynamic.Schedule
+module Generators = Doda_dynamic.Generators
+module Interaction = Doda_dynamic.Interaction
+module Temporal = Doda_dynamic.Temporal
+module Static_graph = Doda_graph.Static_graph
+module Graph_gen = Doda_graph.Graph_gen
+module Engine = Doda_core.Engine
+module Convergecast = Doda_core.Convergecast
+module Cost = Doda_core.Cost
+module Knowledge = Doda_core.Knowledge
+module Theory = Doda_core.Theory
+module Algorithms = Doda_core.Algorithms
+module Waiting_greedy = Doda_core.Waiting_greedy
+module Randomized = Doda_adversary.Randomized
+module Duel = Doda_adversary.Duel
+module Counterexamples = Doda_adversary.Counterexamples
+module Experiment = Doda_sim.Experiment
+module Scaling = Doda_sim.Scaling
+module Table = Doda_sim.Table
+
+let master_seed = 20160701
+let replications = 20
+let sweep_ns = [ 32; 64; 128; 256 ]
+
+let header title body =
+  Printf.printf "\n=== %s ===\n%s\n" title body
+
+(* With DODA_BENCH_CSV=<dir> in the environment, every printed table is
+   also archived as CSV under that directory. *)
+let csv_dir = Sys.getenv_opt "DODA_BENCH_CSV"
+
+let csv_counter = ref 0
+
+let print_table ?name table =
+  Table.print table;
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      incr csv_counter;
+      let base = match name with Some n -> n | None -> "table" in
+      let path = Filename.concat dir (Printf.sprintf "%02d_%s.csv" !csv_counter base) in
+      Doda_sim.Csv.write path ~header:(Table.header_row table) (Table.rows table);
+      Printf.printf "[csv written to %s]\n" path
+
+let fmt = Table.cell_f
+let ratio = Table.cell_ratio
+
+let mean_stderr samples =
+  (Descriptive.mean samples, Descriptive.std_error samples)
+
+(* Durations (interactions to completion) of replicated runs of [algo]
+   against the uniform randomized adversary. *)
+let uniform_runs ?(reps = replications) ?(seed = master_seed) ~n algo =
+  Experiment.replicate ~replications:reps ~seed (fun rng ->
+      let sched = Randomized.uniform_schedule rng ~n ~sink:0 in
+      Engine.run ~max_steps:((200 * n * n) + 10_000) algo sched)
+
+let durations results =
+  Array.of_list
+    (List.filter_map
+       (fun (r : Engine.result) -> Option.map (fun d -> float_of_int (d + 1)) r.duration)
+       (Array.to_list results))
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Theorem 7: the final transmission alone waits Omega(n^2).      *)
+
+let e1 () =
+  header "E1 | Theorem 7: last transmission waits Omega(n^2) interactions"
+    "Gathering under the uniform adversary; wait = gap between the last\n\
+     two transmissions; prediction = n(n-1)/2.";
+  let t = Table.create ~header:[ "n"; "last-wait mean"; "stderr"; "n(n-1)/2"; "ratio" ] in
+  List.iter
+    (fun n ->
+      let results = uniform_runs ~n Algorithms.gathering in
+      let waits =
+        Array.of_list
+          (List.filter_map
+             (fun (r : Engine.result) ->
+               let times = List.map (fun tr -> tr.Engine.time) r.transmissions in
+               match List.rev times with
+               | last :: prev :: _ -> Some (float_of_int (last - prev))
+               | _ -> None)
+             (Array.to_list results))
+      in
+      let m, se = mean_stderr waits in
+      let predicted = Theory.expected_last_meet n in
+      Table.add_row t
+        [ string_of_int n; fmt m; fmt se; fmt predicted; ratio (m /. predicted) ])
+    sweep_ns;
+  print_table t
+
+(* ------------------------------------------------------------------ *)
+(* E2 — Theorem 8: full knowledge / broadcast is Theta(n log n).       *)
+
+let e2 () =
+  header "E2 | Theorem 8: broadcast & optimal convergecast in Theta(n log n)"
+    "Flooding completion and offline opt(0) on uniform sequences;\n\
+     prediction = (n-1) H(n-1); 'conc' = fraction of runs within\n\
+     mean +/- n log n (the Chebyshev bound of the proof).";
+  let t =
+    Table.create
+      ~header:
+        [ "n"; "broadcast"; "convergecast"; "(n-1)H(n-1)"; "b/pred"; "c/pred"; "conc" ]
+  in
+  List.iter
+    (fun n ->
+      let horizon = 60 * n * (1 + int_of_float (log (float_of_int n))) in
+      let pairs =
+        Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+            let s = Generators.uniform_sequence rng ~n ~length:horizon in
+            let b = Temporal.broadcast_completion ~n ~src:0 s in
+            let c = Convergecast.opt ~n ~sink:0 s 0 in
+            (b, c))
+      in
+      let extract f =
+        Array.of_list
+          (List.filter_map
+             (fun p -> Option.map (fun x -> float_of_int (x + 1)) (f p))
+             (Array.to_list pairs))
+      in
+      let broadcasts = extract fst and convergecasts = extract snd in
+      let mb = Descriptive.mean broadcasts and mc = Descriptive.mean convergecasts in
+      let predicted = Theory.expected_broadcast n in
+      let band = float_of_int n *. log (float_of_int n) in
+      let within =
+        Array.fold_left
+          (fun acc x -> if Float.abs (x -. mb) <= band then acc + 1 else acc)
+          0 broadcasts
+      in
+      let conc = float_of_int within /. float_of_int (Array.length broadcasts) in
+      Table.add_row t
+        [
+          string_of_int n; fmt mb; fmt mc; fmt predicted;
+          ratio (mb /. predicted); ratio (mc /. predicted); ratio conc;
+        ])
+    (sweep_ns @ [ 512 ]);
+  print_table t
+
+(* ------------------------------------------------------------------ *)
+(* E3 — Theorem 9a: Waiting terminates in O(n^2 log n).                *)
+
+let scaling_experiment ~title ~note ~predicted ~pred_label algo_of_n ns =
+  header title note;
+  let t =
+    Table.create ~header:[ "n"; "interactions"; "stderr"; pred_label; "ratio" ]
+  in
+  let ms =
+    List.map
+      (fun n ->
+        let results = uniform_runs ~n (algo_of_n n) in
+        let samples = durations results in
+        let m, se = mean_stderr samples in
+        Table.add_row t
+          [
+            string_of_int n; fmt m; fmt se; fmt (predicted n);
+            ratio (m /. predicted n);
+          ];
+        { Scaling.n; mean = m; std_error = se; success = 1.0 })
+      ns
+  in
+  print_table t;
+  let fit = Scaling.exponent ms in
+  let _, cv = Scaling.ratio_stability ~predicted ms in
+  Printf.printf "log-log exponent: %.3f (r2=%.4f); ratio CV vs prediction: %.3f\n"
+    fit.slope fit.r2 cv
+
+let e3 () =
+  scaling_experiment
+    ~title:"E3 | Theorem 9a: Waiting terminates in O(n^2 log n)"
+    ~note:"Uniform adversary; prediction = (n(n-1)/2) H(n-1)."
+    ~predicted:Theory.expected_waiting ~pred_label:"n^2 H/2"
+    (fun _ -> Algorithms.waiting)
+    sweep_ns
+
+(* ------------------------------------------------------------------ *)
+(* E4 — Theorem 9b / Corollary 2: Gathering is O(n^2), optimal without
+   knowledge.                                                          *)
+
+let e4 () =
+  scaling_experiment
+    ~title:"E4 | Theorem 9b: Gathering terminates in O(n^2) (optimal, Cor. 2)"
+    ~note:"Uniform adversary; prediction = n(n-1)(1 - 1/n)."
+    ~predicted:Theory.expected_gathering ~pred_label:"n(n-1)(1-1/n)"
+    (fun _ -> Algorithms.gathering)
+    sweep_ns
+
+(* ------------------------------------------------------------------ *)
+(* E5 — Lemma 1: in n f(n) interactions, Theta(f(n)) nodes meet the
+   sink.                                                               *)
+
+let e5 () =
+  header "E5 | Lemma 1: interactions until the sink meets k distinct nodes"
+    "n = 256; prediction = (n(n-1)/2)(H(n-1) - H(n-1-k)).";
+  let n = 256 in
+  let t = Table.create ~header:[ "k"; "interactions"; "stderr"; "predicted"; "ratio" ] in
+  List.iter
+    (fun k ->
+      let samples =
+        Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+            let met = Array.make n false in
+            let distinct = ref 0 in
+            let steps = ref 0 in
+            while !distinct < k do
+              let a, b = Prng.pair rng n in
+              incr steps;
+              if a = 0 && not met.(b) then begin
+                met.(b) <- true;
+                incr distinct
+              end
+              else if b = 0 && not met.(a) then begin
+                met.(a) <- true;
+                incr distinct
+              end
+            done;
+            float_of_int !steps)
+      in
+      let m, se = mean_stderr samples in
+      let predicted = Theory.expected_sink_meetings ~n ~k in
+      Table.add_row t
+        [ string_of_int k; fmt m; fmt se; fmt predicted; ratio (m /. predicted) ])
+    [ 4; 8; 16; 32; 64; 128 ];
+  print_table t
+
+(* ------------------------------------------------------------------ *)
+(* E6 — Theorem 10 / Corollary 3: Waiting Greedy with
+   tau = Theta(n^{3/2} sqrt(log n)).                                   *)
+
+let e6 () =
+  header "E6 | Theorem 10/Cor 3: Waiting Greedy terminates by tau w.h.p."
+    "Part A: recommended tau = ceil(n^1.5 sqrt(ln n)) across n.\n\
+     'by-tau' = fraction of runs finishing within tau interactions.";
+  let t =
+    Table.create ~header:[ "n"; "tau"; "interactions"; "stderr"; "by-tau"; "mean/tau" ]
+  in
+  List.iter
+    (fun n ->
+      let tau = Theory.recommended_tau n in
+      let results =
+        Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+            let sched = Randomized.uniform_schedule rng ~n ~sink:0 in
+            Engine.run ~max_steps:(8 * tau) (Algorithms.waiting_greedy ~tau) sched)
+      in
+      let samples = durations results in
+      let m, se = mean_stderr samples in
+      let by_tau =
+        Array.fold_left
+          (fun acc x -> if x <= float_of_int tau then acc + 1 else acc)
+          0 samples
+      in
+      Table.add_row t
+        [
+          string_of_int n; string_of_int tau; fmt m; fmt se;
+          Printf.sprintf "%d/%d" by_tau replications;
+          ratio (m /. float_of_int tau);
+        ])
+    sweep_ns;
+  print_table t;
+  Printf.printf
+    "\nPart B: tau-sweep at n = 128 over f = c sqrt(n ln n) — the\n\
+     max(nf, n^2 ln n / f) tradeoff should be minimised near c = 1.\n";
+  let n = 128 in
+  let t2 = Table.create ~header:[ "c"; "f"; "tau"; "interactions"; "stderr" ] in
+  List.iter
+    (fun c ->
+      let f = c *. sqrt (float_of_int n *. log (float_of_int n)) in
+      let tau = Theory.tau_for_f ~n ~f in
+      let results =
+        Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+            let sched = Randomized.uniform_schedule rng ~n ~sink:0 in
+            Engine.run ~max_steps:(40 * n * n) (Algorithms.waiting_greedy ~tau) sched)
+      in
+      let samples = durations results in
+      let m, se = mean_stderr samples in
+      Table.add_row t2
+        [ ratio c; fmt f; string_of_int tau; fmt m; fmt se ])
+    [ 0.25; 0.5; 1.0; 2.0; 4.0 ];
+  print_table t2;
+  Printf.printf
+    "\nPart C (ablation): capped meetTime oracle (limit = tau) vs exact\n\
+     oracle on identical finite sequences, n = 64.\n";
+  let n = 64 in
+  let tau = Theory.recommended_tau n in
+  let t3 = Table.create ~header:[ "oracle"; "interactions"; "stderr" ] in
+  let run_mode exact =
+    Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+        let len = 8 * tau in
+        let s = Generators.uniform_sequence rng ~n ~length:len in
+        let sched = Schedule.of_sequence ~n ~sink:0 s in
+        Engine.run (Waiting_greedy.make ~exact ~tau ()) sched)
+  in
+  List.iter
+    (fun (label, exact) ->
+      let samples = durations (run_mode exact) in
+      let m, se = mean_stderr samples in
+      Table.add_row t3 [ label; fmt m; fmt se ])
+    [ ("capped", false); ("exact", true) ];
+  print_table t3
+
+(* ------------------------------------------------------------------ *)
+(* E7 — Theorem 11: head-to-head; Waiting Greedy sits between
+   Gathering and the offline optimum.                                  *)
+
+let e7 () =
+  header "E7 | Theorem 11: head-to-head under the uniform adversary"
+    "Mean interactions to completion; 'x opt' = ratio to the offline\n\
+     optimum (full knowledge). Expect optimum ~ n log n, WG ~ n^1.5,\n\
+     Gathering ~ n^2, Waiting ~ n^2 log n.";
+  let t =
+    Table.create
+      ~header:[ "n"; "optimal"; "wait-greedy"; "x opt"; "gathering"; "x opt"; "waiting"; "x opt" ]
+  in
+  List.iter
+    (fun n ->
+      let measure algo = Descriptive.mean (durations (uniform_runs ~n algo)) in
+      let opt = measure Algorithms.full_knowledge in
+      let wg = measure (Algorithms.waiting_greedy_recommended n) in
+      let ga = measure Algorithms.gathering in
+      let wa = measure Algorithms.waiting in
+      Table.add_row t
+        [
+          string_of_int n; fmt opt;
+          fmt wg; ratio (wg /. opt);
+          fmt ga; ratio (ga /. opt);
+          fmt wa; ratio (wa /. opt);
+        ])
+    sweep_ns;
+  print_table t
+
+(* ------------------------------------------------------------------ *)
+(* E8 — Theorems 1 and 3: adaptive adversaries force unbounded cost.   *)
+
+let e8 () =
+  header "E8 | Theorems 1 & 3: adaptive adversaries force cost -> infinity"
+    "The algorithm never terminates while successive optimal\n\
+     convergecasts keep completing on the very sequence played:\n\
+     the cost lower bound grows linearly with the horizon.";
+  let t =
+    Table.create
+      ~header:[ "adversary"; "algorithm"; "horizon"; "terminated"; "convergecasts possible" ]
+  in
+  let cases =
+    [
+      ("thm1 (n=3)", (fun () -> Counterexamples.theorem1 ()), 3, None,
+       [ Algorithms.waiting; Algorithms.gathering ]);
+      ("thm3 (C4)", (fun () -> Counterexamples.theorem3 ()), 4,
+       Some (Knowledge.with_underlying (Counterexamples.theorem3_graph ()) Knowledge.empty),
+       [ Algorithms.gathering; Algorithms.tree_aggregation ]);
+    ]
+  in
+  List.iter
+    (fun (adv_name, adv, n, knowledge, algos) ->
+      List.iter
+        (fun algo ->
+          List.iter
+            (fun horizon ->
+              let r, played =
+                Duel.run ?knowledge ~max_steps:horizon ~n ~sink:0 algo (adv ())
+              in
+              let possible =
+                Cost.convergecasts_within ~n ~sink:0 played ~upto:(horizon - 1)
+              in
+              Table.add_row t
+                [
+                  adv_name; algo.Doda_core.Algorithm.name; string_of_int horizon;
+                  (if r.Engine.stop = Engine.All_aggregated then "yes" else "no");
+                  string_of_int possible;
+                ])
+            [ 500; 1000; 2000; 4000 ])
+        algos)
+    cases;
+  print_table t
+
+(* ------------------------------------------------------------------ *)
+(* E9 — Theorems 4 and 5: underlying-graph knowledge; tree vs non-tree. *)
+
+let e9 () =
+  header "E9 | Theorems 4 & 5: spanning-tree algorithm, tree vs non-tree"
+    "Random edge schedules over a fixed underlying graph (n = 16).\n\
+     On a tree the algorithm is optimal (cost 1, Thm 5); on a cycle\n\
+     or denser graph its cost exceeds 1 and is unbounded in general\n\
+     (Thm 4).";
+  let n = 16 in
+  let t =
+    Table.create
+      ~header:[ "underlying"; "mean cost"; "max cost"; "mean interactions"; "vs optimal" ]
+  in
+  let graphs =
+    [
+      ("random tree", Graph_gen.random_tree (Prng.create 7) ~n);
+      ("cycle", Static_graph.cycle n);
+      ("tree + 8 chords", Graph_gen.random_connected (Prng.create 9) ~n ~extra_edges:8);
+    ]
+  in
+  List.iter
+    (fun (label, g) ->
+      let runs =
+        Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+            let len = 200 * n * Static_graph.edge_count g in
+            let s =
+              Sequence.of_array (Array.init len (Generators.over_graph rng g))
+            in
+            let sched = Schedule.of_sequence ~n ~sink:0 s in
+            let k = Knowledge.with_underlying g Knowledge.empty in
+            let r = Engine.run ~knowledge:k Algorithms.tree_aggregation sched in
+            let cost = Cost.to_float (Cost.of_result ~n ~sink:0 s r) in
+            let opt =
+              match Convergecast.opt ~n ~sink:0 s 0 with
+              | Some o -> float_of_int (o + 1)
+              | None -> Float.nan
+            in
+            let dur =
+              match r.Engine.duration with
+              | Some d -> float_of_int (d + 1)
+              | None -> Float.nan
+            in
+            (cost, dur, dur /. opt))
+      in
+      let costs = Array.map (fun (c, _, _) -> c) runs in
+      let durs = Array.map (fun (_, d, _) -> d) runs in
+      let ratios = Array.map (fun (_, _, r) -> r) runs in
+      Table.add_row t
+        [
+          label;
+          ratio (Descriptive.mean costs);
+          fmt (Descriptive.max costs);
+          fmt (Descriptive.mean durs);
+          ratio (Descriptive.mean ratios);
+        ])
+    graphs;
+  print_table t
+
+(* ------------------------------------------------------------------ *)
+(* E10 — Theorem 6 (future knowledge, cost <= n) and open question 3
+   (non-uniform randomized adversary).                                 *)
+
+let e10 () =
+  header "E10 | Theorem 6: future gossip costs at most n convergecasts"
+    "Uniform adversary, finite committed sequences.";
+  let t =
+    Table.create
+      ~header:
+        [ "n"; "mean cost"; "max cost"; "bound n"; "interactions"; "vs (n-1)H(n-1)" ]
+  in
+  List.iter
+    (fun n ->
+      let runs =
+        Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+            let len = 40 * n * (1 + int_of_float (log (float_of_int n))) in
+            let s = Generators.uniform_sequence rng ~n ~length:len in
+            let sched = Schedule.of_sequence ~n ~sink:0 s in
+            let r = Engine.run Algorithms.future_gossip sched in
+            let cost = Cost.to_float (Cost.of_result ~n ~sink:0 s r) in
+            let dur =
+              match r.Engine.duration with
+              | Some d -> float_of_int (d + 1)
+              | None -> Float.nan
+            in
+            (cost, dur))
+      in
+      let costs = Array.map fst runs and durs = Array.map snd runs in
+      let mean_dur = Descriptive.mean durs in
+      Table.add_row t
+        [
+          string_of_int n;
+          ratio (Descriptive.mean costs);
+          fmt (Descriptive.max costs);
+          string_of_int n;
+          fmt mean_dur;
+          (* Corollary 1: DODA(future) terminates in Theta(n log n). *)
+          ratio (mean_dur /. Theory.expected_broadcast n);
+        ])
+    [ 8; 16; 32 ];
+  print_table t;
+  Printf.printf
+    "\nOpen question 3: non-uniform (sink-biased) randomized adversary,\n\
+     n = 64. Sink weight w: each endpoint drawn proportionally to\n\
+     weight; w = 1 is (near-)uniform.\n";
+  let n = 64 in
+  let t2 =
+    Table.create ~header:[ "sink weight"; "waiting"; "gathering"; "wait-greedy" ]
+  in
+  List.iter
+    (fun w ->
+      let measure algo =
+        let results =
+          Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+              let sched = Randomized.sink_biased_schedule rng ~n ~sink:0 ~sink_weight:w in
+              Engine.run ~max_steps:((400 * n * n) + 10_000) algo sched)
+        in
+        Descriptive.mean (durations results)
+      in
+      Table.add_row t2
+        [
+          ratio w;
+          fmt (measure Algorithms.waiting);
+          fmt (measure Algorithms.gathering);
+          fmt (measure (Algorithms.waiting_greedy_recommended n));
+        ])
+    [ 0.2; 1.0; 5.0; 25.0 ];
+  print_table t2
+
+(* ------------------------------------------------------------------ *)
+(* LEMMAS — the internal quantities of the Theorem 10/11 proofs.       *)
+
+let lemmas () =
+  header "LEMMAS | proof internals of Theorems 10/11, instrumented"
+    "For Waiting Greedy at the recommended tau: |L| = nodes meeting\n\
+     the sink within tau (the proof wants Theta(f) = Theta(sqrt(n\n\
+     log n))), and where transmissions actually go: directly to the\n\
+     sink, or relayed to an L-node before its sink meeting.";
+  let t =
+    Table.create
+      ~header:[ "n"; "tau"; "|L| mean"; "f=sqrt(n ln n)"; "|L|/f"; "to sink"; "relayed" ]
+  in
+  List.iter
+    (fun n ->
+      let tau = Theory.recommended_tau n in
+      let stats =
+        Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+            let sched = Randomized.uniform_schedule rng ~n ~sink:0 in
+            let r =
+              Engine.run ~max_steps:(8 * tau) (Algorithms.waiting_greedy ~tau) sched
+            in
+            (* |L|: distinct nodes interacting with the sink within the
+               first tau interactions actually played. *)
+            let upto = Stdlib.min tau (Schedule.materialized sched) in
+            let meets = Schedule.meets_with_sink_upto sched upto in
+            let l_size = ref 0 in
+            for v = 1 to n - 1 do
+              if meets.(v) > 0 then incr l_size
+            done;
+            let direct = ref 0 and relayed = ref 0 in
+            List.iter
+              (fun tr ->
+                if tr.Engine.receiver = 0 then incr direct else incr relayed)
+              r.Engine.transmissions;
+            (float_of_int !l_size, float_of_int !direct, float_of_int !relayed))
+      in
+      let mean f = Descriptive.mean (Array.map f stats) in
+      let l_mean = mean (fun (l, _, _) -> l) in
+      let f = sqrt (float_of_int n *. log (float_of_int n)) in
+      Table.add_row t
+        [
+          string_of_int n; string_of_int tau; fmt l_mean; fmt f;
+          ratio (l_mean /. f);
+          fmt (mean (fun (_, d, _) -> d));
+          fmt (mean (fun (_, _, r) -> r));
+        ])
+    sweep_ns;
+  print_table t
+
+(* ------------------------------------------------------------------ *)
+(* KNOWLEDGE — open question 1: which knowledge matters, on which
+   workloads?                                                          *)
+
+let knowledge () =
+  header "KNOWLEDGE | open question 1: knowledge level x workload (n = 32)"
+    "Mean interactions to completion. Columns left to right carry\n\
+     increasing knowledge: none (Waiting, Gathering), meetTime\n\
+     (Waiting Greedy, tuned and n-oblivious doubling), full schedule\n\
+     (optimal). Workloads are committed finite traces so every\n\
+     algorithm sees the same adversary.";
+  let n = 32 in
+  let tau = Theory.recommended_tau n in
+  let algorithms =
+    [
+      Algorithms.waiting;
+      Algorithms.gathering;
+      Algorithms.waiting_greedy ~tau;
+      Waiting_greedy.doubling ();
+      Algorithms.full_knowledge;
+    ]
+  in
+  let workloads =
+    [
+      ("uniform", fun rng -> Generators.uniform rng ~n);
+      ("sink-biased w=8",
+       fun rng ->
+         Generators.weighted_nodes rng
+           ~weights:(Array.init n (fun v -> if v = 0 then 8.0 else 1.0)));
+      ("markov edges", fun rng -> Generators.markov_edges rng ~n ~p_on:0.01 ~p_off:0.2);
+      ("waypoint", fun rng -> Doda_dynamic.Mobility.random_waypoint rng ~n);
+      ("community 4x0.8",
+       fun rng -> Doda_dynamic.Mobility.community rng ~n ~communities:4 ~p_intra:0.8);
+    ]
+  in
+  let t =
+    Table.create
+      ~header:
+        ("workload"
+        :: List.map (fun a -> a.Doda_core.Algorithm.name) algorithms)
+  in
+  List.iter
+    (fun (label, gen_of) ->
+      let horizon = 40 * n * n in
+      let traces =
+        Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+            Sequence.of_array (Array.init horizon (gen_of rng)))
+      in
+      let cells =
+        List.map
+          (fun algo ->
+            let samples =
+              Array.to_list traces
+              |> List.filter_map (fun s ->
+                     let sched = Schedule.of_sequence ~n ~sink:0 s in
+                     match (Engine.run algo sched).Engine.duration with
+                     | Some d -> Some (float_of_int (d + 1))
+                     | None -> None)
+              |> Array.of_list
+            in
+            if Array.length samples = 0 then "-"
+            else fmt (Descriptive.mean samples))
+          algorithms
+      in
+      Table.add_row t (label :: cells))
+    workloads;
+  print_table t
+
+(* ------------------------------------------------------------------ *)
+(* LATENCY — per-datum delivery metrics beyond the paper's single
+   termination figure.                                                 *)
+
+let latency () =
+  header "LATENCY | per-datum delivery time and aggregation depth (n = 64)"
+    "Waiting delivers every datum in one hop but late; Gathering\n\
+     relays aggressively (deep chains); Waiting Greedy sits between.\n\
+     'mean delivery' averages, over data, the time the sink received\n\
+     each original datum.";
+  let n = 64 in
+  let t =
+    Table.create
+      ~header:[ "algorithm"; "termination"; "mean delivery"; "max hops"; "mean hops" ]
+  in
+  List.iter
+    (fun algo ->
+      let runs = uniform_runs ~n algo in
+      let terminations = durations runs in
+      let deliveries = ref [] and maxhops = ref [] and meanhops = ref [] in
+      Array.iter
+        (fun (r : Engine.result) ->
+          if r.stop = Engine.All_aggregated then begin
+            (match Doda_sim.Analysis.mean_delivery_time ~n ~sink:0 r with
+            | Some m -> deliveries := m :: !deliveries
+            | None -> ());
+            maxhops :=
+              float_of_int (Doda_sim.Analysis.max_hops ~n ~sink:0 r) :: !maxhops;
+            let hops = Doda_sim.Analysis.hop_counts ~n ~sink:0 r in
+            let total = Array.fold_left ( + ) 0 hops in
+            meanhops := (float_of_int total /. float_of_int (n - 1)) :: !meanhops
+          end)
+        runs;
+      let mean l = Descriptive.mean (Array.of_list l) in
+      Table.add_row t
+        [
+          algo.Doda_core.Algorithm.name;
+          fmt (Descriptive.mean terminations);
+          fmt (mean !deliveries);
+          fmt (mean !maxhops);
+          fmt (mean !meanhops);
+        ])
+    [
+      Algorithms.waiting; Algorithms.gathering;
+      Algorithms.waiting_greedy_recommended n; Algorithms.full_knowledge;
+    ];
+  print_table t
+
+(* ------------------------------------------------------------------ *)
+(* T2SEARCH — the Theorem 2 proof procedure, executed.                 *)
+
+let t2search () =
+  header "T2SEARCH | Theorem 2's adversary construction, run as a procedure"
+    "Monte-Carlo estimation of P_l against concrete oblivious\n\
+     algorithms (n = 8): the first prefix length with P_l < 1/n arms\n\
+     the trap; the blocking sequence then defeats the algorithm in\n\
+     most runs.";
+  let n = 8 in
+  let master = Prng.create master_seed in
+  let t =
+    Table.create
+      ~header:[ "algorithm"; "l0"; "d"; "survival"; "transmit rate"; "blocked runs" ]
+  in
+  List.iter
+    (fun algo ->
+      match Counterexamples.theorem2_search ~trials:200 ~n algo with
+      | None ->
+          Table.add_row t
+            [ algo.Doda_core.Algorithm.name; "-"; "-"; "-"; "-"; "not provocable" ]
+      | Some p ->
+          let s =
+            Counterexamples.theorem2_sequence ~n ~l0:p.Counterexamples.l0
+              ~d:p.Counterexamples.d ~periods:120
+          in
+          let runs = 40 in
+          let blocked = ref 0 in
+          for _ = 1 to runs do
+            let r =
+              Engine.run algo (Schedule.of_sequence ~n ~sink:0 s)
+            in
+            if r.Engine.stop <> Engine.All_aggregated then incr blocked
+          done;
+          Table.add_row t
+            [
+              algo.Doda_core.Algorithm.name;
+              string_of_int p.Counterexamples.l0;
+              string_of_int p.Counterexamples.d;
+              ratio p.Counterexamples.survival;
+              ratio p.Counterexamples.transmit_rate;
+              Printf.sprintf "%d/%d" !blocked runs;
+            ])
+    [
+      Algorithms.waiting;
+      Algorithms.gathering;
+      Doda_core.Coin_algorithms.coin_waiting master ~p:0.5;
+      Doda_core.Coin_algorithms.coin_gathering master ~p:0.3;
+    ];
+  print_table t
+
+(* ------------------------------------------------------------------ *)
+(* EXACT — exact finite-n laws vs simulation.                          *)
+
+let exact () =
+  header "EXACT | exact finite-n distributions vs simulation"
+    "Termination times are sums of independent geometrics; the exact\n\
+     law (Geometric_sum over Theory phase vectors) should match both\n\
+     the closed-form means and the empirical distribution (KS\n\
+     distance ~ 1/sqrt(reps)). n = 32, 200 replications.";
+  let module G = Doda_stats.Geometric_sum in
+  let n = 32 in
+  let reps = 200 in
+  let t =
+    Table.create
+      ~header:
+        [ "process"; "exact mean"; "closed form"; "sim mean"; "p50 exact"; "p99 exact"; "KS" ]
+  in
+  let simulate algo =
+    durations
+      (Experiment.replicate ~replications:reps ~seed:master_seed (fun rng ->
+           let sched = Randomized.uniform_schedule rng ~n ~sink:0 in
+           Engine.run ~max_steps:(400 * n * n) algo sched))
+  in
+  let broadcast_samples =
+    Experiment.replicate ~replications:reps ~seed:master_seed (fun rng ->
+        let horizon = 200 * n in
+        let s = Generators.uniform_sequence rng ~n ~length:horizon in
+        match Temporal.broadcast_completion ~n ~src:0 s with
+        | Some t -> float_of_int (t + 1)
+        | None -> Float.nan)
+  in
+  let cases =
+    [
+      ("waiting", Theory.waiting_phases n, Theory.expected_waiting n,
+       simulate Algorithms.waiting);
+      ("gathering", Theory.gathering_phases n, Theory.expected_gathering n,
+       simulate Algorithms.gathering);
+      ("broadcast", Theory.broadcast_phases n, Theory.expected_broadcast n,
+       broadcast_samples);
+    ]
+  in
+  List.iter
+    (fun (name, phases, closed_form, samples) ->
+      let exact_mean = G.mean phases in
+      let upto = int_of_float (6.0 *. exact_mean) in
+      let cdf = G.cdf_of_pmf (G.pmf ~phases ~upto) in
+      let p50 = G.quantile ~cdf 0.5 and p99 = G.quantile ~cdf 0.99 in
+      let ks = G.ks_distance ~cdf ~samples in
+      Table.add_row t
+        [
+          name; fmt exact_mean; fmt closed_form;
+          fmt (Descriptive.mean samples);
+          string_of_int p50; string_of_int p99; ratio ks;
+        ])
+    cases;
+  print_table t
+
+(* ------------------------------------------------------------------ *)
+(* VARIANTS — ablations of implementation degrees of freedom the
+   theorems leave open: Gathering's tie-break, and which deterministic
+   spanning tree the Theorem 4/5 algorithm agrees on.                  *)
+
+let variants () =
+  header "VARIANTS | ablations: Gathering tie-breaks, spanning-tree choice"
+    "Theorem 9's analysis is tie-break agnostic; measured constants\n\
+     should therefore agree across variants (uniform adversary).";
+  let n = 128 in
+  let t = Table.create ~header:[ "gathering variant"; "interactions"; "stderr" ] in
+  List.iter
+    (fun algo ->
+      let samples = durations (uniform_runs ~n algo) in
+      let m, se = mean_stderr samples in
+      Table.add_row t [ algo.Doda_core.Algorithm.name; fmt m; fmt se ])
+    Doda_core.Gathering_variants.all;
+  print_table t;
+  Printf.printf
+    "\nSpanning-tree choice for the Theorem 4/5 algorithm (n = 24,\n\
+     random schedules over a connected underlying graph): a deeper\n\
+     tree means longer dependency chains, hence later completion.\n";
+  let n = 24 in
+  let g = Graph_gen.random_connected (Prng.create 5) ~n ~extra_edges:12 in
+  let t2 = Table.create ~header:[ "tree"; "depth"; "interactions"; "stderr" ] in
+  List.iter
+    (fun (label, choice) ->
+      let algo = Doda_core.Tree_aggregation.make ~tree:choice () in
+      let tree =
+        match choice with
+        | Doda_core.Tree_aggregation.Bfs -> Doda_graph.Spanning_tree.bfs_tree g ~root:0
+        | Doda_core.Tree_aggregation.Kruskal ->
+            Doda_graph.Spanning_tree.kruskal_tree g ~root:0
+      in
+      let depth =
+        List.fold_left
+          (fun acc v -> Stdlib.max acc (Doda_graph.Spanning_tree.depth tree v))
+          0
+          (List.init n (fun v -> v))
+      in
+      let samples =
+        durations
+          (Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+               let sched =
+                 Schedule.of_fun ~n ~sink:0 (Generators.over_graph rng g)
+               in
+               let k = Knowledge.with_underlying g Knowledge.empty in
+               Engine.run ~knowledge:k ~max_steps:(2000 * n) algo sched))
+      in
+      let m, se = mean_stderr samples in
+      Table.add_row t2 [ label; string_of_int depth; fmt m; fmt se ])
+    [ ("bfs", Doda_core.Tree_aggregation.Bfs);
+      ("kruskal", Doda_core.Tree_aggregation.Kruskal) ];
+  print_table t2
+
+(* ------------------------------------------------------------------ *)
+(* SPITE — the generalised trap adversary at arbitrary n.              *)
+
+let spite () =
+  header "SPITE | generalised adaptive trap adversary (extension of Thm 1)"
+    "The spiteful adversary freezes the run after the first committed\n\
+     transmission; the cost lower bound keeps growing with the horizon\n\
+     at every n — the 3-node impossibility is not a small-n artifact.";
+  let t =
+    Table.create
+      ~header:[ "n"; "algorithm"; "horizon"; "terminated"; "convergecasts possible" ]
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun algo ->
+          List.iter
+            (fun horizon ->
+              let adv = Doda_adversary.Spiteful.adversary ~n ~sink:0 in
+              let r, played = Duel.run ~max_steps:horizon ~n ~sink:0 algo adv in
+              let possible =
+                Cost.convergecasts_within ~n ~sink:0 played ~upto:(horizon - 1)
+              in
+              Table.add_row t
+                [
+                  string_of_int n; algo.Doda_core.Algorithm.name;
+                  string_of_int horizon;
+                  (if r.Engine.stop = Engine.All_aggregated then "yes" else "no");
+                  string_of_int possible;
+                ])
+            [ 2000; 8000 ])
+        [ Algorithms.waiting; Algorithms.gathering ])
+    [ 4; 8; 16 ];
+  print_table t
+
+(* ------------------------------------------------------------------ *)
+(* POLICIES — Theorem 11 made falsifiable: rival meetTime policies.    *)
+
+let policies () =
+  header "POLICIES | rivals over the same meetTime oracle (Theorem 11)"
+    "No policy built on meetTime should beat the tuned Waiting Greedy.\n\
+     pure-greedy always fires (ordering by meet time); sliding-window\n\
+     uses a relative deadline theta instead of WG's absolute tau.";
+  let t =
+    Table.create ~header:[ "policy"; "n=64"; "n=128" ]
+  in
+  let measure n algo =
+    let samples = durations (uniform_runs ~n algo) in
+    if Array.length samples < replications then "timeout"
+    else fmt (Descriptive.mean samples)
+  in
+  let rows n_list policy_of =
+    List.map (fun n -> measure n (policy_of n)) n_list
+  in
+  let ns = [ 64; 128 ] in
+  List.iter
+    (fun (label, policy_of) -> Table.add_row t (label :: rows ns policy_of))
+    [
+      ("waiting-greedy (tuned)", fun n -> Algorithms.waiting_greedy_recommended n);
+      ("waiting-greedy tau/4",
+       fun n -> Algorithms.waiting_greedy ~tau:(Theory.recommended_tau n / 4));
+      ("waiting-greedy 4tau",
+       fun n -> Algorithms.waiting_greedy ~tau:(4 * Theory.recommended_tau n));
+      ("pure-greedy",
+       fun n -> Doda_core.Meet_time_policies.pure_greedy ~horizon:(100 * n * n));
+      ("sliding-window theta=tau",
+       fun n ->
+         Doda_core.Meet_time_policies.sliding_window
+           ~theta:(Theory.recommended_tau n));
+      ("sliding-window theta=tau/4",
+       fun n ->
+         Doda_core.Meet_time_policies.sliding_window
+           ~theta:(Theory.recommended_tau n / 4));
+      ("gathering (no oracle)", fun _ -> Algorithms.gathering);
+    ];
+  print_table t
+
+(* ------------------------------------------------------------------ *)
+(* PRICE — what does the transmit-once constraint cost?                *)
+
+let price () =
+  header "PRICE | the cost of transmitting only once"
+    "Same uniform schedules; epidemic flooding (unbounded\n\
+     retransmission, knowledge-free) vs the transmit-once algorithms.\n\
+     Flooding tracks the offline optimum at Theta(n log n); the best\n\
+     knowledge-free transmit-once algorithm pays Theta(n^2): the\n\
+     energy constraint costs a factor ~ n / log n.";
+  let t =
+    Table.create
+      ~header:
+        [ "n"; "flooding"; "optimal (1-shot)"; "gathering (1-shot)"; "gather/flood" ]
+  in
+  List.iter
+    (fun n ->
+      let triples =
+        Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+            let len = 60 * n * (1 + int_of_float (log (float_of_int n))) in
+            let s = Generators.uniform_sequence rng ~n ~length:len in
+            let flood =
+              Doda_core.Flooding_aggregation.sink_completion ~n ~sink:0 s
+            in
+            let opt = Convergecast.opt ~n ~sink:0 s 0 in
+            let sched = Schedule.of_sequence ~n ~sink:0 s in
+            let gather =
+              (Engine.run ~max_steps:(400 * n * n) Algorithms.gathering
+                 (Randomized.uniform_schedule
+                    (Prng.split rng) ~n ~sink:0))
+                .Engine.duration
+            in
+            ignore sched;
+            (flood, opt, gather))
+      in
+      let extract f =
+        Array.of_list
+          (List.filter_map
+             (fun x -> Option.map (fun v -> float_of_int (v + 1)) (f x))
+             (Array.to_list triples))
+      in
+      let fl = Descriptive.mean (extract (fun (a, _, _) -> a)) in
+      let op = Descriptive.mean (extract (fun (_, b, _) -> b)) in
+      let ga = Descriptive.mean (extract (fun (_, _, c) -> c)) in
+      Table.add_row t
+        [ string_of_int n; fmt fl; fmt op; fmt ga; ratio (ga /. fl) ])
+    sweep_ns;
+  print_table t
+
+(* ------------------------------------------------------------------ *)
+(* MIXED — how much adaptivity does the adversary need?                *)
+
+let mixed () =
+  header "MIXED | interpolating adversary power (n = 16, horizon 60000)"
+    "With probability q the adversary plays the spiteful (adaptive)\n\
+     rule, otherwise a uniform random pair. q = 0 is the randomized\n\
+     adversary; q = 1 is the Theorem-1-style trap. Mean interactions\n\
+     over terminated runs; 'done' counts runs finishing within the\n\
+     horizon.";
+  let n = 16 in
+  let horizon = 60_000 in
+  let t =
+    Table.create
+      ~header:[ "q"; "waiting mean"; "done"; "gathering mean"; "done" ]
+  in
+  List.iter
+    (fun q ->
+      let measure algo =
+        let outcomes =
+          Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+              let adv = Doda_adversary.Mixed.adversary rng ~n ~sink:0 ~q in
+              let r, _ = Duel.run ~max_steps:horizon ~n ~sink:0 algo adv in
+              r.Engine.duration)
+        in
+        let finished = Array.to_list outcomes |> List.filter_map Fun.id in
+        let mean =
+          match finished with
+          | [] -> "-"
+          | _ ->
+              fmt
+                (Descriptive.mean
+                   (Array.of_list (List.map (fun d -> float_of_int (d + 1)) finished)))
+        in
+        (mean, Printf.sprintf "%d/%d" (List.length finished) replications)
+      in
+      let wm, wd = measure Algorithms.waiting in
+      let gm, gd = measure Algorithms.gathering in
+      Table.add_row t [ ratio q; wm; wd; gm; gd ])
+    [ 0.0; 0.25; 0.5; 0.75; 0.9; 1.0 ];
+  print_table t
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the machinery itself.                  *)
+
+let micro () =
+  header "MICRO | Bechamel micro-benchmarks"
+    "Wall-clock per operation (OLS estimate on the run predictor).";
+  let open Bechamel in
+  let n = 128 in
+  let rng = Prng.create master_seed in
+  let seq50k = Generators.uniform_sequence rng ~n ~length:50_000 in
+  let sched = Schedule.of_sequence ~n ~sink:0 seq50k in
+  (* Pre-materialise the meetTime index once so the query bench
+     measures lookups, not construction. *)
+  ignore (Schedule.next_meet_with_sink sched ~node:1 ~after:0 ~limit:49_999);
+  let prng_rng = Prng.create 1 in
+  let tests =
+    [
+      Test.make ~name:"prng/pair-n128"
+        (Staged.stage (fun () -> ignore (Prng.pair prng_rng 128)));
+      Test.make ~name:"schedule/meet-time-query"
+        (Staged.stage (fun () ->
+             ignore
+               (Schedule.next_meet_with_sink sched ~node:17 ~after:25_000
+                  ~limit:49_999)));
+      Test.make ~name:"temporal/flood-50k"
+        (Staged.stage (fun () ->
+             ignore (Temporal.broadcast_completion ~n ~src:0 seq50k)));
+      Test.make ~name:"convergecast/opt-50k"
+        (Staged.stage (fun () -> ignore (Convergecast.opt ~n ~sink:0 seq50k 0)));
+      Test.make ~name:"engine/gathering-n128-run"
+        (Staged.stage (fun () ->
+             let rng = Prng.create 77 in
+             let sched = Randomized.uniform_schedule rng ~n ~sink:0 in
+             ignore (Engine.run ~max_steps:(40 * n * n) Algorithms.gathering sched)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+      let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name est ->
+          let time =
+            match Analyze.OLS.estimates est with
+            | Some [ t ] -> t
+            | _ -> Float.nan
+          in
+          let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square est) in
+          Printf.printf "%-36s %14.1f ns/run  (r2=%.4f)\n" name time r2)
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let all_experiments =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
+    ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
+    ("lemmas", lemmas); ("knowledge", knowledge); ("latency", latency);
+    ("t2search", t2search);
+    ("exact", exact);
+    ("variants", variants); ("spite", spite); ("mixed", mixed); ("price", price);
+    ("policies", policies); ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst all_experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt (String.lowercase_ascii name) all_experiments with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" name
+            (String.concat ", " (List.map fst all_experiments));
+          exit 1)
+    requested

@@ -1,0 +1,314 @@
+(* doda — command-line front end for the distributed online data
+   aggregation library.
+
+     doda run      one algorithm against one adversary, full report
+     doda duel     an algorithm against an adaptive adversary (Thm 1/3)
+     doda sweep    scaling study across n, with exponent fit
+     doda generate write an interaction trace to a file
+     doda analyze  offline analysis of a trace (connectivity, optimum)
+     doda list     available algorithms and adversaries *)
+
+module Prng = Doda_prng.Prng
+module Sequence = Doda_dynamic.Sequence
+module Schedule = Doda_dynamic.Schedule
+module Generators = Doda_dynamic.Generators
+module Mobility = Doda_dynamic.Mobility
+module Trace = Doda_dynamic.Trace
+module Underlying = Doda_dynamic.Underlying
+module Temporal = Doda_dynamic.Temporal
+module Static_graph = Doda_graph.Static_graph
+module Traversal = Doda_graph.Traversal
+module Engine = Doda_core.Engine
+module Convergecast = Doda_core.Convergecast
+module Cost = Doda_core.Cost
+module Knowledge = Doda_core.Knowledge
+module Algorithms = Doda_core.Algorithms
+module Theory = Doda_core.Theory
+module Randomized = Doda_adversary.Randomized
+module Duel = Doda_adversary.Duel
+module Counterexamples = Doda_adversary.Counterexamples
+module Experiment = Doda_sim.Experiment
+module Scaling = Doda_sim.Scaling
+module Table = Doda_sim.Table
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Schedule sources (shared syntax lives in Doda_sim.Workload)         *)
+
+module Workload = Doda_sim.Workload
+
+let parse_source s =
+  match Workload.parse s with Ok w -> Ok w | Error msg -> Error (`Msg msg)
+
+let schedule_of_source source ~n ~sink ~seed =
+  Workload.schedule source ~n ~sink ~seed
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let source_conv = Arg.conv (parse_source, fun ppf _ -> Format.fprintf ppf "<source>")
+
+let algo_arg =
+  let doc =
+    "Algorithm: " ^ String.concat " | " Algorithms.names ^ "."
+  in
+  Arg.(value & opt string "gathering" & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
+
+let n_arg =
+  Arg.(value & opt int 32 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let sink_arg =
+  Arg.(value & opt int 0 & info [ "sink" ] ~docv:"SINK" ~doc:"Sink node id.")
+
+let max_steps_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-steps" ] ~docv:"STEPS" ~doc:"Interaction budget.")
+
+let source_arg =
+  let doc = "Interaction source: " ^ Workload.syntax ^ "." in
+  Arg.(value & opt source_conv Workload.Uniform & info [ "s"; "source" ] ~docv:"SOURCE" ~doc)
+
+let find_algo name n =
+  match Algorithms.find ~n name with
+  | Some a -> a
+  | None ->
+      Printf.eprintf "unknown algorithm %S; known: %s\n" name
+        (String.concat ", " Algorithms.names);
+      exit 2
+
+(* ------------------------------------------------------------------ *)
+(* doda run                                                            *)
+
+let run_cmd =
+  let run algo_name n sink seed source max_steps timeline =
+    let algo = find_algo algo_name n in
+    let sched = schedule_of_source source ~n ~sink ~seed in
+    let max_steps =
+      match (max_steps, Schedule.length sched) with
+      | Some m, _ -> Some m
+      | None, Some _ -> None
+      | None, None -> Some ((200 * n * n) + 10_000)
+    in
+    let result = Engine.run ?max_steps algo sched in
+    Format.printf "algorithm: %s@." algo.Doda_core.Algorithm.name;
+    Format.printf "%a@." Engine.pp_result result;
+    let examined = Schedule.materialized sched in
+    let prefix = Schedule.prefix sched examined in
+    (match Convergecast.opt ~n:(Schedule.n sched) ~sink prefix 0 with
+    | Some o -> Format.printf "offline optimum on played prefix: %d@." (o + 1)
+    | None -> Format.printf "offline optimum on played prefix: infeasible@.");
+    Format.printf "cost: %a@." Cost.pp
+      (Cost.of_result ~n:(Schedule.n sched) ~sink prefix result);
+    if timeline then
+      print_string (Doda_sim.Timeline.render ~n:(Schedule.n sched) ~sink result)
+  in
+  let timeline =
+    Arg.(value & flag & info [ "timeline" ] ~doc:"Draw an ASCII execution timeline.")
+  in
+  let term = Term.(const run $ algo_arg $ n_arg $ sink_arg $ seed_arg $ source_arg
+                   $ max_steps_arg $ timeline)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one algorithm against one interaction source.") term
+
+(* ------------------------------------------------------------------ *)
+(* doda duel                                                           *)
+
+let duel_cmd =
+  let duel algo_name which horizon n_opt =
+    let adv, n, knowledge =
+      match which with
+      | "thm1" -> (Counterexamples.theorem1 (), Counterexamples.theorem1_nodes, None)
+      | "thm3" ->
+          ( Counterexamples.theorem3 (),
+            Counterexamples.theorem3_nodes,
+            Some
+              (Knowledge.with_underlying (Counterexamples.theorem3_graph ())
+                 Knowledge.empty) )
+      | "spiteful" ->
+          (Doda_adversary.Spiteful.adversary ~n:n_opt ~sink:0, n_opt, None)
+      | other ->
+          Printf.eprintf "unknown adversary %S; known: thm1, thm3, spiteful\n" other;
+          exit 2
+    in
+    let algo = find_algo algo_name n in
+    let result, played = Duel.run ?knowledge ~max_steps:horizon ~n ~sink:0 algo adv in
+    Format.printf "adversary: %s (n=%d)@." adv.Doda_adversary.Adversary.name n;
+    Format.printf "%a@." Engine.pp_result result;
+    let possible = Cost.convergecasts_within ~n ~sink:0 played ~upto:(horizon - 1) in
+    Format.printf "optimal convergecasts possible meanwhile: %d@." possible;
+    Format.printf "cost: %a@." Cost.pp (Cost.of_result ~n ~sink:0 played result)
+  in
+  let which =
+    Arg.(
+      value & opt string "thm1"
+      & info [ "adversary" ] ~docv:"ADV"
+          ~doc:"Adaptive adversary: thm1 | thm3 | spiteful.")
+  in
+  let horizon =
+    Arg.(value & opt int 2000 & info [ "horizon" ] ~docv:"H" ~doc:"Interaction budget.")
+  in
+  let term = Term.(const duel $ algo_arg $ which $ horizon $ n_arg) in
+  Cmd.v
+    (Cmd.info "duel"
+       ~doc:"Play an algorithm against an adaptive adversary from the paper's proofs.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* doda sweep                                                          *)
+
+let sweep_cmd =
+  let sweep algo_name ns reps seed source csv =
+    let t = Table.create ~header:[ "n"; "mean"; "stderr"; "success" ] in
+    let points =
+      List.map
+        (fun n ->
+          let algo = find_algo algo_name n in
+          let m =
+            Experiment.run_schedule_factory ~replications:reps ~seed
+              ~max_steps:((400 * n * n) + 10_000)
+              ~label:algo.Doda_core.Algorithm.name ~n
+              (fun rng ->
+                (* One independent instantiation of the workload per
+                   replication, derived from the split stream. *)
+                Workload.schedule source ~n ~sink:0
+                  ~seed:(Prng.int rng 1_000_000_000))
+              algo
+          in
+          let p = Scaling.point_of m in
+          Table.add_row t
+            [
+              string_of_int n;
+              Table.cell_f p.Scaling.mean;
+              Table.cell_f p.Scaling.std_error;
+              Table.cell_ratio p.Scaling.success;
+            ];
+          p)
+        ns
+    in
+    Table.print t;
+    (match csv with
+    | Some path ->
+        Doda_sim.Csv.write path ~header:(Table.header_row t) (Table.rows t);
+        Format.printf "csv written to %s@." path
+    | None -> ());
+    if List.length points >= 2 then begin
+      let fit = Scaling.exponent points in
+      Format.printf "log-log exponent: %.3f (r2 = %.4f)@." fit.slope fit.r2
+    end
+  in
+  let ns =
+    Arg.(
+      value
+      & opt (list int) [ 16; 32; 64; 128 ]
+      & info [ "ns" ] ~docv:"N,N,.." ~doc:"Node counts to sweep.")
+  in
+  let reps =
+    Arg.(value & opt int 10 & info [ "reps" ] ~docv:"R" ~doc:"Replications per point.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the table as CSV.")
+  in
+  let term =
+    Term.(const sweep $ algo_arg $ ns $ reps $ seed_arg $ source_arg $ csv)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Scaling study of an algorithm under the uniform randomized adversary.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* doda generate                                                       *)
+
+let generate_cmd =
+  let generate n sink seed source length output =
+    let sched = schedule_of_source source ~n ~sink ~seed in
+    let s = Schedule.prefix sched length in
+    Trace.save output s;
+    Format.printf "wrote %d interactions on %d nodes to %s@." (Sequence.length s)
+      (Schedule.n sched) output
+  in
+  let length =
+    Arg.(value & opt int 10_000 & info [ "length" ] ~docv:"LEN" ~doc:"Trace length.")
+  in
+  let output =
+    Arg.(
+      value & opt string "trace.txt"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let term =
+    Term.(const generate $ n_arg $ sink_arg $ seed_arg $ source_arg $ length $ output)
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate an interaction trace file.") term
+
+(* ------------------------------------------------------------------ *)
+(* doda analyze                                                        *)
+
+let analyze_cmd =
+  let analyze path sink =
+    let s = Trace.load path in
+    let n = Sequence.max_node s + 1 in
+    let len = Sequence.length s in
+    Format.printf "trace: %s@.nodes: %d, interactions: %d@." path n len;
+    let g = Underlying.of_sequence ~n s in
+    Format.printf "underlying graph: %d edges, %s@."
+      (Static_graph.edge_count g)
+      (if Traversal.connected g then "connected" else "disconnected");
+    if Static_graph.is_tree g then Format.printf "underlying graph is a tree@.";
+    Format.printf "temporally connected: %b@." (Temporal.temporally_connected ~n s);
+    (match Temporal.broadcast_completion ~n ~src:sink s with
+    | Some t -> Format.printf "broadcast from sink completes at: %d@." t
+    | None -> Format.printf "broadcast from sink: incomplete@.");
+    (match Convergecast.opt ~n ~sink s 0 with
+    | Some t -> Format.printf "optimal convergecast ends at: %d@." t
+    | None -> Format.printf "optimal convergecast: infeasible@.");
+    let chain = Convergecast.t_chain ~n ~sink s in
+    Format.printf "successive convergecasts possible: %d@." (List.length chain);
+    print_string (Doda_dynamic.Metrics.summary ~n ~sink s);
+    let window = Stdlib.max 1 (len / 10) in
+    let eg = Doda_dynamic.Evolving_graph.of_interactions ~n ~window s in
+    let connected =
+      List.length
+        (List.filter
+           (fun i ->
+             Traversal.connected (Doda_dynamic.Evolving_graph.snapshot eg i))
+           (List.init (Doda_dynamic.Evolving_graph.length eg) (fun i -> i)))
+    in
+    Format.printf "connected windows (size %d): %d/%d@." window connected
+      (Doda_dynamic.Evolving_graph.length eg)
+  in
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
+  in
+  let term = Term.(const analyze $ path $ sink_arg) in
+  Cmd.v (Cmd.info "analyze" ~doc:"Offline analysis of an interaction trace.") term
+
+(* ------------------------------------------------------------------ *)
+(* doda list                                                           *)
+
+let list_cmd =
+  let list () =
+    Format.printf "algorithms:@.";
+    List.iter (fun name -> Format.printf "  %s@." name) Algorithms.names;
+    Format.printf "sources: %s@." Workload.syntax;
+    Format.printf "adaptive adversaries (doda duel): thm1, thm3, spiteful@.";
+    Format.printf "recommended tau at n=128: %d@." (Theory.recommended_tau 128)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List algorithms and interaction sources.")
+    Term.(const list $ const ())
+
+let () =
+  let info =
+    Cmd.info "doda" ~version:"1.0.0"
+      ~doc:"Distributed online data aggregation in dynamic graphs (ICDCS 2016)."
+  in
+  let group = Cmd.group info [ run_cmd; duel_cmd; sweep_cmd; generate_cmd; analyze_cmd; list_cmd ] in
+  exit (Cmd.eval group)

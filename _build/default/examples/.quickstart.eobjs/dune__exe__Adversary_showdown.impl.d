@@ -1,0 +1,1 @@
+examples/adversary_showdown.ml: Array Doda_adversary Doda_core Doda_dynamic Doda_sim Format List String

@@ -1,0 +1,1 @@
+examples/body_sensors.ml: Array Doda_core Doda_dynamic Doda_graph Doda_prng Doda_sim Format List

@@ -1,0 +1,1 @@
+examples/body_sensors.mli:

@@ -1,0 +1,1 @@
+examples/link_outages.ml: Doda_core Doda_dynamic Doda_prng Doda_sim Format List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Doda_core Doda_dynamic Doda_prng Format

@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Array Doda_core Doda_dynamic Doda_graph Doda_prng Doda_sim Filename Format List Sys

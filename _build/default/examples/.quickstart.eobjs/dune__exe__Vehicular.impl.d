@@ -1,0 +1,1 @@
+examples/vehicular.ml: Array Doda_core Doda_dynamic Doda_graph Doda_prng Doda_sim Float Format List Printf String

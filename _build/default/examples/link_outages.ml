@@ -1,0 +1,68 @@
+(* Link outages: aggregation on a time-varying graph with up/down link
+   phases.
+
+   Every pair of nodes alternates between connected phases (mean length
+   up) and outages (mean length down), the interval-based TVG model of
+   Casteigts et al.; flattening its snapshots gives a sequence in the
+   paper's model. We sweep the outage length and watch each strategy
+   degrade — and compare with epidemic flooding, the counterfactual
+   where nodes could retransmit freely (no energy constraint).
+
+     dune exec examples/link_outages.exe *)
+
+module Prng = Doda_prng.Prng
+module Sequence = Doda_dynamic.Sequence
+module Schedule = Doda_dynamic.Schedule
+module Presence = Doda_dynamic.Presence
+module Engine = Doda_core.Engine
+module Convergecast = Doda_core.Convergecast
+module Flooding_aggregation = Doda_core.Flooding_aggregation
+module Algorithms = Doda_core.Algorithms
+module Table = Doda_sim.Table
+
+let () =
+  let n = 12 and sink = 0 in
+  Format.printf
+    "link-outage TVG, %d nodes; links alternate up (mean 3) / down@." n;
+  let t =
+    Table.create
+      ~header:
+        [ "mean outage"; "waiting"; "gathering"; "wait-greedy"; "1-shot optimal";
+          "flooding (no constraint)" ]
+  in
+  List.iter
+    (fun mean_down ->
+      let rng = Prng.create (int_of_float (mean_down *. 1000.0)) in
+      let p = Presence.random rng ~n ~horizon:4000 ~mean_up:3.0 ~mean_down in
+      let trace = Presence.to_interactions p in
+      let run algo =
+        let sched = Schedule.of_sequence ~n ~sink trace in
+        match (Engine.run algo sched).Engine.duration with
+        | Some d -> string_of_int (d + 1)
+        | None -> "never"
+      in
+      let opt =
+        match Convergecast.opt ~n ~sink trace 0 with
+        | Some o -> string_of_int (o + 1)
+        | None -> "never"
+      in
+      let flood =
+        match Flooding_aggregation.sink_completion ~n ~sink trace with
+        | Some f -> string_of_int (f + 1)
+        | None -> "never"
+      in
+      Table.add_row t
+        [
+          Printf.sprintf "%.0f" mean_down;
+          run Algorithms.waiting;
+          run Algorithms.gathering;
+          run (Algorithms.waiting_greedy_recommended n);
+          opt;
+          flood;
+        ])
+    [ 2.0; 8.0; 32.0; 128.0 ];
+  Table.print t;
+  Format.printf
+    "@.Longer outages stretch everyone; the one-shot optimum and the@.\
+     unconstrained flooding coincide — journeys, not energy, are the@.\
+     binding constraint once links are scarce.@."

@@ -1,0 +1,38 @@
+(* Quickstart: the library in thirty lines.
+
+   A dynamic graph is a sequence of pairwise interactions; an online
+   algorithm decides, at each interaction, whether one endpoint sends
+   its data to the other (each node may transmit only once). We run the
+   paper's Gathering algorithm against the uniform randomized adversary
+   and compare it with the offline optimum.
+
+     dune exec examples/quickstart.exe *)
+
+module Prng = Doda_prng.Prng
+module Schedule = Doda_dynamic.Schedule
+module Generators = Doda_dynamic.Generators
+module Engine = Doda_core.Engine
+module Convergecast = Doda_core.Convergecast
+module Cost = Doda_core.Cost
+module Algorithms = Doda_core.Algorithms
+
+let () =
+  let n = 32 and sink = 0 in
+  (* The randomized adversary: each interaction drawn uniformly among
+     the n(n-1)/2 pairs, materialised lazily as the run progresses. *)
+  let rng = Prng.create 2016 in
+  let schedule = Schedule.of_fun ~n ~sink (Generators.uniform rng ~n) in
+
+  (* Run Gathering: transmit whenever possible, to the sink if present. *)
+  let result = Engine.run ~max_steps:100_000 Algorithms.gathering schedule in
+  Format.printf "Gathering on %d nodes:@.%a@.@." n Engine.pp_result result;
+
+  (* Offline analysis on the exact sequence that was played. *)
+  let played = Schedule.prefix schedule (Schedule.materialized schedule) in
+  (match Convergecast.opt ~n ~sink played 0 with
+  | Some ending ->
+      Format.printf "an offline optimal schedule would finish at: %d@." (ending + 1)
+  | None -> Format.printf "no offline schedule could finish either@.");
+  Format.printf "cost (optimal convergecasts the offline algorithm fits in): %a@."
+    Cost.pp
+    (Cost.of_result ~n ~sink played result)

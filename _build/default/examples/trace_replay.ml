@@ -1,0 +1,91 @@
+(* Trace workflow: generate, archive, reload and dissect a contact
+   trace, then replay it against the algorithms.
+
+   This is the workflow for working with externally collected contact
+   traces (the library reads the simple `time u v` format): inspect the
+   workload's shape first — activity skew, inter-contact gaps, sink
+   exposure, snapshot connectivity — because that shape decides which
+   aggregation strategy wins.
+
+     dune exec examples/trace_replay.exe *)
+
+module Prng = Doda_prng.Prng
+module Sequence = Doda_dynamic.Sequence
+module Schedule = Doda_dynamic.Schedule
+module Mobility = Doda_dynamic.Mobility
+module Trace = Doda_dynamic.Trace
+module Metrics = Doda_dynamic.Metrics
+module Evolving_graph = Doda_dynamic.Evolving_graph
+module Static_graph = Doda_graph.Static_graph
+module Engine = Doda_core.Engine
+module Cost = Doda_core.Cost
+module Algorithms = Doda_core.Algorithms
+module Table = Doda_sim.Table
+module Timeline = Doda_sim.Timeline
+
+let () =
+  let n = 15 and sink = 0 in
+  let rng = Prng.create 123 in
+
+  (* A clustered workload: three communities, mostly-internal chatter. *)
+  let gen = Mobility.community rng ~n ~communities:3 ~p_intra:0.85 in
+  let trace = Sequence.of_array (Array.init 20_000 gen) in
+
+  (* Archive and reload — the round trip is exact. *)
+  let path = Filename.temp_file "doda_example" ".trace" in
+  Trace.save path trace;
+  let trace = Trace.load path in
+  Sys.remove path;
+  Format.printf "trace of %d interactions round-tripped through %s@.@."
+    (Sequence.length trace) (Filename.basename path);
+
+  (* Workload shape. *)
+  print_string (Metrics.summary ~n ~sink trace);
+  (match Metrics.mean_inter_contact trace ~u:1 ~v:4 with
+  | Some gap ->
+      Format.printf "mean inter-contact of community pair {1,4}: %.1f@." gap
+  | None -> Format.printf "pair {1,4} met at most once@.");
+  (match Metrics.mean_inter_contact trace ~u:1 ~v:2 with
+  | Some gap ->
+      Format.printf "mean inter-contact of cross pair {1,2}: %.1f@." gap
+  | None -> Format.printf "pair {1,2} met at most once@.");
+
+  (* As an evolving graph: how connected is each 500-contact window? *)
+  let eg = Evolving_graph.of_interactions ~n ~window:500 trace in
+  let connected =
+    List.length
+      (List.filter
+         (fun i -> Doda_graph.Traversal.connected (Evolving_graph.snapshot eg i))
+         (List.init (Evolving_graph.length eg) (fun i -> i)))
+  in
+  Format.printf "@.%d of %d evolving-graph windows are connected@.@." connected
+    (Evolving_graph.length eg);
+
+  (* Replay. *)
+  let t = Table.create ~header:[ "algorithm"; "done at"; "cost" ] in
+  let best = ref None in
+  List.iter
+    (fun algo ->
+      let sched = Schedule.of_sequence ~n ~sink trace in
+      let r = Engine.run algo sched in
+      (match (r.Engine.duration, !best) with
+      | Some d, None -> best := Some (algo.Doda_core.Algorithm.name, r, d)
+      | Some d, Some (_, _, d') when d < d' ->
+          best := Some (algo.Doda_core.Algorithm.name, r, d)
+      | _ -> ());
+      Table.add_row t
+        [
+          algo.Doda_core.Algorithm.name;
+          (match r.Engine.duration with
+          | Some d -> string_of_int (d + 1)
+          | None -> "never");
+          Format.asprintf "%a" Cost.pp (Cost.of_result ~n ~sink trace r);
+        ])
+    (Algorithms.all_for ~n);
+  Table.print t;
+
+  match !best with
+  | Some (name, r, _) ->
+      Format.printf "@.timeline of the fastest online algorithm (%s):@." name;
+      print_string (Timeline.render ~n ~sink r)
+  | None -> ()

@@ -1,0 +1,1 @@
+lib/adversary/adversary.ml: Doda_core Doda_dynamic Printf

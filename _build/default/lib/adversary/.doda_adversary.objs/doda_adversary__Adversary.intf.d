@@ -1,0 +1,1 @@
+lib/adversary/adversary.mli: Doda_core Doda_dynamic

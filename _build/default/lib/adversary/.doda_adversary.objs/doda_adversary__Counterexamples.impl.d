@@ -1,0 +1,1 @@
+lib/adversary/counterexamples.ml: Adversary Array Doda_core Doda_dynamic Doda_graph List

@@ -1,0 +1,1 @@
+lib/adversary/counterexamples.mli: Adversary Doda_core Doda_dynamic Doda_graph

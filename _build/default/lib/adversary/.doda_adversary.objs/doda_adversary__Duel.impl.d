@@ -1,0 +1,1 @@
+lib/adversary/duel.ml: Adversary Array Doda_core Doda_dynamic List Option Printf

@@ -1,0 +1,1 @@
+lib/adversary/duel.mli: Adversary Doda_core Doda_dynamic

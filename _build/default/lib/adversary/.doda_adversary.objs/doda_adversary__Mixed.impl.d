@@ -1,0 +1,1 @@
+lib/adversary/mixed.ml: Adversary Doda_dynamic Doda_prng Printf Spiteful

@@ -1,0 +1,1 @@
+lib/adversary/mixed.mli: Adversary Doda_prng

@@ -1,0 +1,1 @@
+lib/adversary/randomized.ml: Adversary Array Doda_dynamic

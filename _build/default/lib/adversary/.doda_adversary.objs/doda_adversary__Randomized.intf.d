@@ -1,0 +1,1 @@
+lib/adversary/randomized.mli: Adversary Doda_dynamic Doda_prng

@@ -1,0 +1,1 @@
+lib/adversary/spiteful.ml: Adversary Array Doda_dynamic Printf

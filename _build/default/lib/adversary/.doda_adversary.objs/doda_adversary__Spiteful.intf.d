@@ -1,0 +1,1 @@
+lib/adversary/spiteful.mli: Adversary

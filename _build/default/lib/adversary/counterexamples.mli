@@ -1,0 +1,72 @@
+(** The adversary constructions from the paper's impossibility proofs.
+
+    Each is implemented literally, extended to cover every possible
+    behaviour of the algorithm under attack (the proofs sketch the
+    cases that matter; an executable adversary must answer all of
+    them). Played via {!Duel.run}, they prevent termination of any
+    algorithm while keeping one optimal convergecast per period
+    possible — so the cost grows without bound with the horizon, the
+    executable form of [cost_A(I) = ∞]. *)
+
+val theorem1 : unit -> Adversary.t
+(** Theorem 1: adaptive adversary on 3 nodes — sink [0], [a = 1],
+    [b = 2]. Opens with [{a, b}]; as soon as one of [a], [b] commits
+    its data the other is locked away from the sink forever. Defeats
+    {e every} DODA algorithm without knowledge. *)
+
+val theorem1_nodes : int
+(** Number of nodes the construction uses (3). *)
+
+val theorem3 : unit -> Adversary.t
+(** Theorem 3: adaptive adversary on 4 nodes — sink [0] and
+    [u1, u2, u3 = 1, 2, 3] — whose played sequence has the cycle
+    [s - u1 - u2 - u3 - s] as underlying graph. Defeats every
+    algorithm even when nodes know that underlying graph. Pair with
+    [Knowledge.with_underlying (theorem3_graph ())]. *)
+
+val theorem3_nodes : int
+(** Number of nodes the construction uses (4). *)
+
+val theorem3_graph : unit -> Doda_graph.Static_graph.t
+(** The 4-cycle underlying graph the construction commits to. *)
+
+type theorem2_parameters = {
+  l0 : int;  (** prefix length at which someone transmits w.h.p. *)
+  d : int;  (** index of the node the gadget cuts off *)
+  survival : float;  (** estimated probability [u_d] still owns data *)
+  transmit_rate : float;
+      (** estimated probability at least one node transmits during the
+          prefix — must be high for the trap to arm *)
+}
+
+val theorem2_search :
+  ?trials:int -> ?max_l:int -> n:int ->
+  Doda_core.Algorithm.t -> theorem2_parameters option
+(** [theorem2_search ~n algo] executes the {e procedure} of the
+    Theorem 2 proof against a concrete (possibly randomized) oblivious
+    algorithm: it estimates [P_l] — the probability that no node
+    transmits when [algo] runs on the prefix [I^l] of sink meetings
+    [{u_0, s}, {u_1, s}, ...] — by Monte-Carlo over [trials] fresh
+    instances (default 100), takes [l0] as the first length with
+    [P_l < 1/n], and picks [d] in [\[1, n-2\]] as the node most likely
+    to still own data after the prefix. [None] when no [l] up to
+    [max_l] (default [8 n]) makes a transmission likely — the
+    algorithm is so passive the trap (and, against such algorithms,
+    the rest of the proof's argument) does not arm.
+
+    Pair with {!theorem2_sequence} to materialise the blocking
+    sequence. @raise Invalid_argument if [n < 4]. *)
+
+val theorem2_sequence : n:int -> l0:int -> d:int -> periods:int -> Doda_dynamic.Sequence.t
+(** Theorem 2: the {e oblivious} construction against randomized
+    oblivious algorithms, materialised for [periods] repetitions.
+    Nodes are the sink [0] and [u_0 .. u_{n-2}] (node [u_i] has id
+    [i + 1]). The sequence starts with [l0] interactions
+    [{u_0, s}, {u_1, s}, ...] (indices mod [n - 1]); by choice of
+    [l0], some node transmits during this prefix w.h.p. It continues
+    with repetitions of the blocking gadget [I']: a path
+    [u_i - u_{i+1}] over all [i] except [i = d - 1], which is replaced
+    by [{u_{d-1}, s}] — node [u_d]'s data can then only reach the sink
+    through a chain containing a node that has already spent its
+    transmission. @raise Invalid_argument if [n < 3], [l0 < 0],
+    [d] outside [\[1, n-2\]], or [periods < 0]. *)

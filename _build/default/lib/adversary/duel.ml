@@ -1,0 +1,71 @@
+module Engine = Doda_core.Engine
+module Interaction = Doda_dynamic.Interaction
+module Sequence = Doda_dynamic.Sequence
+
+let run ?(knowledge = Doda_core.Knowledge.empty) ~max_steps ~n ~sink
+    (algo : Doda_core.Algorithm.t) (adv : Adversary.t) =
+  if n < 2 then invalid_arg "Duel.run: need at least two nodes";
+  if sink < 0 || sink >= n then invalid_arg "Duel.run: sink out of range";
+  Doda_core.Algorithm.check_knowledge algo.name knowledge algo.requires;
+  let instance = algo.make ~n ~sink knowledge in
+  let holds = Array.make n true in
+  let owners = ref n in
+  let transmissions = ref [] in
+  let last : Engine.transmission option ref = ref None in
+  let played = ref [] in
+  let steps = ref 0 in
+  let stop = ref None in
+  while !stop = None do
+    if !owners = 1 then stop := Some Engine.All_aggregated
+    else if !steps >= max_steps then stop := Some Engine.Step_limit
+    else begin
+      let view =
+        { Adversary.time = !steps; holders = holds; last_transmission = !last }
+      in
+      match adv.next view with
+      | None -> stop := Some Engine.Schedule_exhausted
+      | Some i ->
+          if Interaction.v i >= n then
+            invalid_arg "Duel.run: adversary played a node id >= n";
+          played := i :: !played;
+          let t = !steps in
+          instance.observe ~time:t i;
+          let a = Interaction.u i and b = Interaction.v i in
+          if holds.(a) && holds.(b) then begin
+            match instance.decide ~time:t i with
+            | None -> ()
+            | Some receiver ->
+                if not (Interaction.involves i receiver) then
+                  invalid_arg
+                    (Printf.sprintf "Duel.run: %s returned a non-endpoint receiver"
+                       algo.name);
+                let sender = Interaction.other i receiver in
+                if sender = sink then
+                  invalid_arg
+                    (Printf.sprintf "Duel.run: %s made the sink transmit" algo.name);
+                holds.(sender) <- false;
+                decr owners;
+                let tr = { Engine.time = t; sender; receiver } in
+                transmissions := tr :: !transmissions;
+                last := Some tr
+          end;
+          incr steps
+    end
+  done;
+  let stop = Option.get !stop in
+  let duration =
+    match (stop, !last) with
+    | Engine.All_aggregated, Some tr -> Some tr.Engine.time
+    | Engine.All_aggregated, None -> Some (-1)  (* n = 1: vacuous *)
+    | (Engine.Schedule_exhausted | Engine.Step_limit), _ -> None
+  in
+  let result =
+    {
+      Engine.stop;
+      duration;
+      steps = !steps;
+      transmissions = List.rev !transmissions;
+      holders = holds;
+    }
+  in
+  (result, Sequence.of_list (List.rev !played))

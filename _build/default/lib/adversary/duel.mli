@@ -1,0 +1,26 @@
+(** Plays an algorithm against an (adaptive) adversary.
+
+    Unlike {!Doda_core.Engine.run}, the interaction at time [t] is
+    chosen {e during} the run, after the adversary has seen everything
+    up to [t - 1] — the adaptive online adversary of Section 2.2. The
+    model rules enforced are identical to the engine's. The recorded
+    sequence is returned so offline analyses (cost, optimal
+    convergecasts) can be applied to exactly what the adversary
+    played. *)
+
+val run :
+  ?knowledge:Doda_core.Knowledge.t ->
+  max_steps:int ->
+  n:int -> sink:int ->
+  Doda_core.Algorithm.t -> Adversary.t ->
+  Doda_core.Engine.result * Doda_dynamic.Sequence.t
+(** [run ~max_steps ~n ~sink algo adv] stops at aggregation, adversary
+    exhaustion, or [max_steps]. [knowledge] defaults to
+    {!Doda_core.Knowledge.empty} — an adaptive adversary's future does
+    not exist ahead of time, so no future-dependent oracle can be
+    offered; underlying-graph knowledge can be injected by the caller
+    when the adversary guarantees it by construction.
+
+    @raise Invalid_argument on knowledge the algorithm requires but the
+    caller did not supply, on invalid [n]/[sink], or on an adversary
+    returning an interaction mentioning ids [>= n]. *)

@@ -1,0 +1,17 @@
+(** Interpolation between the randomized and the adaptive adversary.
+
+    The paper's two extreme adversaries behave very differently: the
+    uniform randomized one lets Gathering finish in Θ(n²), while a
+    fully adaptive one stalls every algorithm forever (Theorem 1,
+    {!Spiteful}). [mixed q] plays the spiteful rule with probability
+    [q] at each step and a uniform random pair otherwise, measuring how
+    much adaptivity the adversary needs before online aggregation
+    degrades — an experimental angle on the paper's closing question
+    about adversary power ([mixed] bench). For [q < 1] termination
+    still happens almost surely (uniform moves eventually connect the
+    holders to the sink); the slowdown grows as [q -> 1]. *)
+
+val adversary :
+  Doda_prng.Prng.t -> n:int -> sink:int -> q:float -> Adversary.t
+(** @raise Invalid_argument if [q] is outside [0, 1], [n < 3] or
+    [sink] out of range. *)

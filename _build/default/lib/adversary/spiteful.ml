@@ -1,0 +1,51 @@
+module Interaction = Doda_dynamic.Interaction
+
+let adversary ~n ~sink =
+  if n < 3 then invalid_arg "Spiteful.adversary: need at least three nodes";
+  if sink < 0 || sink >= n then invalid_arg "Spiteful.adversary: sink out of range";
+  (* Probe cycle: every non-sink pair in order, then one sink meeting —
+     enough recurrence for offline convergecasts, one dare per cycle
+     for the algorithm. *)
+  let probe =
+    let pairs = ref [] in
+    for u = n - 1 downto 0 do
+      for v = n - 1 downto u + 1 do
+        if u <> sink && v <> sink then pairs := Interaction.make u v :: !pairs
+      done
+    done;
+    let envoy = if sink = 0 then 1 else 0 in
+    Array.of_list (!pairs @ [ Interaction.make envoy sink ])
+  in
+  let position = ref 0 in
+  let trapped = ref None in
+  let next (view : Adversary.view) =
+    (match !trapped with
+    | Some _ -> ()
+    | None ->
+        (* Freeze on the first node that spent its transmission. *)
+        let x = ref (-1) in
+        Array.iteri
+          (fun v holds -> if (not holds) && v <> sink && !x < 0 then x := v)
+          view.holders;
+        if !x >= 0 then begin
+          trapped := Some !x;
+          position := 0
+        end);
+    let interaction =
+      match !trapped with
+      | None -> probe.(!position mod Array.length probe)
+      | Some x ->
+          (* Only pairs through the empty node [x]: online-dead,
+             offline-routable. *)
+          let cycle = ref [ Interaction.make x sink ] in
+          for h = n - 1 downto 0 do
+            if h <> sink && h <> x && view.holders.(h) then
+              cycle := Interaction.make h x :: !cycle
+          done;
+          let cycle = Array.of_list !cycle in
+          cycle.(!position mod Array.length cycle)
+    in
+    incr position;
+    Some interaction
+  in
+  { Adversary.name = Printf.sprintf "spiteful(n=%d)" n; next }

@@ -1,0 +1,24 @@
+(** A heuristic adaptive adversary for arbitrary [n], generalising the
+    trap mechanism of the Theorem 1 / Theorem 3 constructions.
+
+    Strategy. While no node has committed a transmission, the adversary
+    {e probes}: it cycles through non-sink pairs and an occasional sink
+    meeting, daring the algorithm to act. The moment some node [x] has
+    transmitted (so [x] owns nothing and can never receive), the
+    adversary {e freezes}: it only ever schedules [{h, x}] for each
+    remaining data owner [h] and [{x, sink}]. Online, no further
+    transmission is possible — [x] is empty in every scheduled pair —
+    yet offline each period admits a full convergecast (fresh data:
+    every [h] relays through [x], then [x] delivers), so the cost of
+    the trapped algorithm grows without bound.
+
+    Against algorithms that never transmit at all, the probe phase
+    itself runs forever while convergecasts keep completing — the same
+    unbounded cost.
+
+    This is an experimental generalisation (the paper proves the
+    3-node case); the [spite] bench measures it against every
+    algorithm in the registry that works without future knowledge. *)
+
+val adversary : n:int -> sink:int -> Adversary.t
+(** @raise Invalid_argument if [n < 3] or [sink] out of range. *)

@@ -1,0 +1,1 @@
+lib/core/algorithm.ml: Doda_dynamic Knowledge List Printf String

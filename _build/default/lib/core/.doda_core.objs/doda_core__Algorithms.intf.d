@@ -1,0 +1,1 @@
+lib/core/algorithms.mli: Algorithm

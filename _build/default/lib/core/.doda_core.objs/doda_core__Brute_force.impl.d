@@ -1,0 +1,1 @@
+lib/core/brute_force.ml: Doda_dynamic Int List Set

@@ -1,0 +1,1 @@
+lib/core/coin_algorithms.ml: Algorithm Doda_dynamic Doda_prng Printf

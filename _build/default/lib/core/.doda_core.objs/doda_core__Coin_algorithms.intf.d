@@ -1,0 +1,1 @@
+lib/core/coin_algorithms.mli: Algorithm Doda_prng

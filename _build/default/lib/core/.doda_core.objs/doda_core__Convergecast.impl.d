@@ -1,0 +1,1 @@
+lib/core/convergecast.ml: Array Doda_dynamic List Stdlib

@@ -1,0 +1,1 @@
+lib/core/convergecast.mli: Doda_dynamic

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Algorithm Array Doda_dynamic Format Knowledge List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Algorithm Doda_dynamic Format Knowledge

@@ -1,0 +1,1 @@
+lib/core/flooding_aggregation.ml: Array Doda_dynamic Stdlib

@@ -1,0 +1,1 @@
+lib/core/flooding_aggregation.mli: Doda_dynamic

@@ -1,0 +1,1 @@
+lib/core/full_knowledge.ml: Algorithm Array Convergecast Doda_dynamic Knowledge Option

@@ -1,0 +1,1 @@
+lib/core/full_knowledge.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/core/future_gossip.ml: Algorithm Array Convergecast Doda_dynamic Hashtbl Knowledge Lazy List Option

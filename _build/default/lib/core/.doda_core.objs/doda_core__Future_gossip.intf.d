@@ -1,0 +1,1 @@
+lib/core/future_gossip.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/core/gathering.ml: Algorithm Doda_dynamic

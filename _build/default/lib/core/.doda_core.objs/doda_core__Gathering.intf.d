@@ -1,0 +1,1 @@
+lib/core/gathering.mli: Algorithm

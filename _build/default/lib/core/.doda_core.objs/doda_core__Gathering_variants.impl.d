@@ -1,0 +1,1 @@
+lib/core/gathering_variants.ml: Algorithm Array Doda_dynamic List

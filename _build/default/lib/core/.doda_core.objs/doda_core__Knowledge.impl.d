@@ -1,0 +1,1 @@
+lib/core/knowledge.ml: Doda_dynamic Doda_graph List Printf

@@ -1,0 +1,1 @@
+lib/core/knowledge.mli: Doda_dynamic Doda_graph

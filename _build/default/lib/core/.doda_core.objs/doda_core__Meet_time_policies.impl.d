@@ -1,0 +1,1 @@
+lib/core/meet_time_policies.ml: Algorithm Doda_dynamic Knowledge Option Printf

@@ -1,0 +1,1 @@
+lib/core/meet_time_policies.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/core/tree_aggregation.ml: Algorithm Array Doda_dynamic Doda_graph Knowledge List Option

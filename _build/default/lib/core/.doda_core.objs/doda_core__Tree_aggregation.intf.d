@@ -1,0 +1,1 @@
+lib/core/tree_aggregation.mli: Algorithm

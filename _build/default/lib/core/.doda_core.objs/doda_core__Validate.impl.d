@@ -1,0 +1,1 @@
+lib/core/validate.ml: Array Convergecast Doda_dynamic Engine Format Int List Stdlib

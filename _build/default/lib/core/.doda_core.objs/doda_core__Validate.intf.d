@@ -1,0 +1,1 @@
+lib/core/validate.mli: Convergecast Doda_dynamic Engine Format

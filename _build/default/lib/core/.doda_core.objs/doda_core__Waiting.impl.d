@@ -1,0 +1,1 @@
+lib/core/waiting.ml: Algorithm Doda_dynamic

@@ -1,0 +1,1 @@
+lib/core/waiting.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/core/waiting_greedy.ml: Algorithm Doda_dynamic Knowledge Option Printf Theory

@@ -1,0 +1,1 @@
+lib/core/waiting_greedy.mli: Algorithm

@@ -1,0 +1,20 @@
+type instance = {
+  observe : time:int -> Doda_dynamic.Interaction.t -> unit;
+  decide : time:int -> Doda_dynamic.Interaction.t -> int option;
+}
+
+type t = {
+  name : string;
+  oblivious : bool;
+  requires : Knowledge.requirement list;
+  make : n:int -> sink:int -> Knowledge.t -> instance;
+}
+
+let no_observation ~time:_ _ = ()
+
+let check_knowledge name knowledge requirements =
+  match Knowledge.missing knowledge requirements with
+  | [] -> ()
+  | miss ->
+      let names = String.concat ", " (List.map Knowledge.requirement_name miss) in
+      invalid_arg (Printf.sprintf "%s: missing knowledge: %s" name names)

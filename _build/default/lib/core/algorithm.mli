@@ -1,0 +1,42 @@
+(** The interface of distributed online data aggregation algorithms.
+
+    A DODA algorithm (Section 2.1) takes an interaction [I_t = {u, v}]
+    and its time [t] and outputs [u], [v] or [⊥]: the output node, if
+    any, {e receives} the other node's data. The engine consults
+    {!instance.decide} only when both endpoints still own data (the
+    paper ignores the output otherwise), and returning [Some r] is a
+    commitment: the engine applies the transmission, so an instance may
+    update its internal memory inside [decide].
+
+    [instance.observe] is called on {e every} interaction, before any
+    [decide], and models the exchange of control information between
+    the interacting nodes (the paper allows nodes to "exchange control
+    information before deciding whether they transmit"); it is where
+    non-oblivious algorithms update per-node memory. *)
+
+type instance = {
+  observe : time:int -> Doda_dynamic.Interaction.t -> unit;
+      (** Control-information exchange; invoked on every interaction. *)
+  decide : time:int -> Doda_dynamic.Interaction.t -> int option;
+      (** [decide ~time i] is [Some receiver] (an endpoint of [i]) or
+          [None]. Only invoked when both endpoints own data. *)
+}
+
+type t = {
+  name : string;
+  oblivious : bool;
+      (** True when the algorithm keeps no per-node memory between
+          interactions (the class [D∅ODA] of the paper). *)
+  requires : Knowledge.requirement list;
+      (** Oracles the algorithm needs; checked by the engine. *)
+  make : n:int -> sink:int -> Knowledge.t -> instance;
+      (** Fresh instance for one run.
+          @raise Invalid_argument when knowledge is insufficient. *)
+}
+
+val no_observation : time:int -> Doda_dynamic.Interaction.t -> unit
+(** A no-op [observe], for oblivious algorithms. *)
+
+val check_knowledge : string -> Knowledge.t -> Knowledge.requirement list -> unit
+(** @raise Invalid_argument naming the algorithm and the missing
+    oracles when the knowledge does not satisfy the requirements. *)

@@ -1,0 +1,57 @@
+let waiting = Waiting.algorithm
+let gathering = Gathering.algorithm
+let tree_aggregation = Tree_aggregation.algorithm
+let full_knowledge = Full_knowledge.algorithm
+let future_gossip = Future_gossip.algorithm
+let waiting_greedy ~tau = Waiting_greedy.make ~tau ()
+let waiting_greedy_recommended n = Waiting_greedy.with_recommended_tau n
+
+let no_knowledge = [ waiting; gathering ]
+
+let all_for ~n =
+  [
+    waiting;
+    gathering;
+    waiting_greedy_recommended n;
+    tree_aggregation;
+    full_knowledge;
+    future_gossip;
+  ]
+
+let names =
+  [
+    "waiting";
+    "gathering";
+    "gathering-larger-id";
+    "gathering-more-data";
+    "gathering-hash";
+    "waiting-greedy";
+    "waiting-greedy:TAU";
+    "waiting-greedy-doubling";
+    "tree";
+    "tree-kruskal";
+    "full-knowledge";
+    "future-gossip";
+  ]
+
+let find ~n name =
+  match name with
+  | "waiting" -> Some waiting
+  | "gathering" -> Some gathering
+  | "gathering-larger-id" -> Some (Gathering_variants.make Gathering_variants.Larger_id)
+  | "gathering-more-data" -> Some (Gathering_variants.make Gathering_variants.More_data)
+  | "gathering-hash" -> Some (Gathering_variants.make Gathering_variants.Hash)
+  | "waiting-greedy" -> Some (waiting_greedy_recommended n)
+  | "waiting-greedy-doubling" -> Some (Waiting_greedy.doubling ())
+  | "tree" -> Some tree_aggregation
+  | "tree-kruskal" -> Some (Tree_aggregation.make ~tree:Tree_aggregation.Kruskal ())
+  | "full-knowledge" -> Some full_knowledge
+  | "future-gossip" -> Some future_gossip
+  | _ -> (
+      match String.index_opt name ':' with
+      | Some i when String.sub name 0 i = "waiting-greedy" -> (
+          let arg = String.sub name (i + 1) (String.length name - i - 1) in
+          match int_of_string_opt arg with
+          | Some tau when tau >= 0 -> Some (waiting_greedy ~tau)
+          | _ -> None)
+      | _ -> None)

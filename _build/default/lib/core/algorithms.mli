@@ -1,0 +1,27 @@
+(** Registry of the paper's algorithms, for CLIs, experiments and
+    tests that iterate over "every algorithm". *)
+
+val waiting : Algorithm.t
+val gathering : Algorithm.t
+val tree_aggregation : Algorithm.t
+val full_knowledge : Algorithm.t
+val future_gossip : Algorithm.t
+
+val waiting_greedy : tau:int -> Algorithm.t
+val waiting_greedy_recommended : int -> Algorithm.t
+(** [waiting_greedy_recommended n] uses [tau = Theory.recommended_tau n]. *)
+
+val no_knowledge : Algorithm.t list
+(** Algorithms needing no oracle: Waiting, Gathering. *)
+
+val all_for : n:int -> Algorithm.t list
+(** Every registry algorithm, with Waiting Greedy instantiated at the
+    recommended [tau] for [n]. *)
+
+val find : n:int -> string -> Algorithm.t option
+(** Lookup by CLI name: ["waiting"], ["gathering"], ["waiting-greedy"],
+    ["waiting-greedy:TAU"], ["tree"], ["full-knowledge"],
+    ["future-gossip"]. *)
+
+val names : string list
+(** The accepted CLI names. *)

@@ -1,0 +1,68 @@
+module Sequence = Doda_dynamic.Sequence
+module Interaction = Doda_dynamic.Interaction
+
+module Int_set = Set.Make (Int)
+
+let check_n n =
+  if n > 20 then invalid_arg "Brute_force: n too large for subset search";
+  if n < 1 then invalid_arg "Brute_force: n must be positive"
+
+(* From ownership state [mask] at interaction {a, b}, the possible
+   successor states: do nothing, or (when both endpoints own data and
+   the sender is not the sink) one endpoint transmits to the other. *)
+let successors ~sink mask a b =
+  let bit x = 1 lsl x in
+  if mask land bit a <> 0 && mask land bit b <> 0 then begin
+    let acc = [ mask ] in
+    let acc = if a <> sink then mask lxor bit a :: acc else acc in
+    let acc = if b <> sink then mask lxor bit b :: acc else acc in
+    acc
+  end
+  else [ mask ]
+
+let optimal_duration ~n ~sink s ~start =
+  check_n n;
+  let goal = 1 lsl sink in
+  let full = (1 lsl n) - 1 in
+  if full = goal then Some start
+  else begin
+    let len = Sequence.length s in
+    let states = ref (Int_set.singleton full) in
+    let result = ref None in
+    let t = ref start in
+    while !result = None && !t < len do
+      let i = Sequence.get s !t in
+      let a = Interaction.u i and b = Interaction.v i in
+      let next =
+        Int_set.fold
+          (fun mask acc ->
+            List.fold_left
+              (fun acc m -> Int_set.add m acc)
+              acc
+              (successors ~sink mask a b))
+          !states Int_set.empty
+      in
+      states := next;
+      if Int_set.mem goal next then result := Some !t;
+      incr t
+    done;
+    !result
+  end
+
+let reachable_states ~n ~sink s =
+  check_n n;
+  let full = (1 lsl n) - 1 in
+  let states = ref (Int_set.singleton full) in
+  Sequence.iteri
+    (fun _ i ->
+      let a = Interaction.u i and b = Interaction.v i in
+      states :=
+        Int_set.fold
+          (fun mask acc ->
+            List.fold_left
+              (fun acc m -> Int_set.add m acc)
+              acc
+              (successors ~sink mask a b))
+          !states Int_set.empty)
+    s;
+  Int_set.elements !states

@@ -1,0 +1,18 @@
+(** Exhaustive offline optimum over all aggregation schedules, by
+    breadth-first search over data-ownership states (bitmask subsets).
+
+    Exponential in [n] — intended for [n <= 12] — and used by the test
+    suite to cross-validate the polynomial {!Convergecast} solver built
+    on the broadcast duality. *)
+
+val optimal_duration :
+  n:int -> sink:int -> Doda_dynamic.Sequence.t -> start:int -> int option
+(** [optimal_duration ~n ~sink s ~start] is the earliest possible
+    ending time of a complete aggregation starting at [start] —
+    semantically identical to [Convergecast.opt ~n ~sink s start].
+    @raise Invalid_argument if [n > 20] (state space too large). *)
+
+val reachable_states : n:int -> sink:int -> Doda_dynamic.Sequence.t -> int list
+(** All ownership states (bitmasks over nodes) reachable by some
+    schedule over the whole sequence, in increasing mask order; for
+    inspection and tests. *)

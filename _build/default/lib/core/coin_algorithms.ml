@@ -1,0 +1,43 @@
+module Interaction = Doda_dynamic.Interaction
+module Prng = Doda_prng.Prng
+
+let check_p p =
+  if p <= 0.0 || p > 1.0 then
+    invalid_arg "Coin_algorithms: p must lie in (0, 1]"
+
+let coin_waiting master ~p =
+  check_p p;
+  {
+    Algorithm.name = Printf.sprintf "coin-waiting(p=%.2f)" p;
+    oblivious = true;
+    requires = [];
+    make =
+      (fun ~n:_ ~sink _knowledge ->
+        let rng = Prng.split master in
+        {
+          Algorithm.observe = Algorithm.no_observation;
+          decide =
+            (fun ~time:_ i ->
+              if Interaction.involves i sink && Prng.bernoulli rng p then Some sink
+              else None);
+        });
+  }
+
+let coin_gathering master ~p =
+  check_p p;
+  {
+    Algorithm.name = Printf.sprintf "coin-gathering(p=%.2f)" p;
+    oblivious = true;
+    requires = [];
+    make =
+      (fun ~n:_ ~sink _knowledge ->
+        let rng = Prng.split master in
+        {
+          Algorithm.observe = Algorithm.no_observation;
+          decide =
+            (fun ~time:_ i ->
+              if Interaction.involves i sink then Some sink
+              else if Prng.bernoulli rng p then Some (Interaction.u i)
+              else None);
+        });
+  }

@@ -1,0 +1,24 @@
+(** Randomized oblivious algorithms (the class Theorem 2 attacks).
+
+    The paper's Theorem 2 concerns {e randomized} algorithms in
+    [D∅ODA]: oblivious nodes whose transmission decisions are coin
+    flips. These two give the adversary-search implementation
+    ({!Doda_adversary.Counterexamples}-style) a live target, and serve
+    as baselines for how randomisation trades off against the
+    deterministic strategies.
+
+    Instances draw their coins from a child stream split off the
+    [Prng.t] given at construction, so distinct instances of the same
+    algorithm value behave independently while a fixed master seed
+    keeps whole experiments reproducible. *)
+
+val coin_waiting : Doda_prng.Prng.t -> p:float -> Algorithm.t
+(** Like Waiting, but on each sink meeting the node transmits only
+    with probability [p] ([p = 1] is Waiting).
+    @raise Invalid_argument unless [0 < p <= 1]. *)
+
+val coin_gathering : Doda_prng.Prng.t -> p:float -> Algorithm.t
+(** Transmits to the sink whenever met; between two non-sink owners,
+    transmits (to the smaller id) only with probability [p]
+    ([p = 1] is Gathering). @raise Invalid_argument unless
+    [0 < p <= 1]. *)

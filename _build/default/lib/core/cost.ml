@@ -1,0 +1,33 @@
+type t = Finite of int | At_least of int
+
+let cost ~n ~sink s ~duration =
+  let chain = Convergecast.t_chain ~n ~sink s in
+  match duration with
+  | Some d ->
+      (* Chain values are increasing; the first T(i) >= d gives the
+         cost. If d exceeds all finite T values, the next convergecast
+         ends beyond the sequence (or never), hence after d: the cost
+         is one past the chain length. *)
+      let rec scan i = function
+        | [] -> Finite i
+        | ending :: rest -> if d <= ending then Finite i else scan (i + 1) rest
+      in
+      scan 1 chain
+  | None -> At_least (List.length chain + 1)
+
+let convergecasts_within ~n ~sink s ~upto =
+  let chain = Convergecast.t_chain ~n ~sink s in
+  List.length (List.filter (fun ending -> ending <= upto) chain)
+
+let of_result ~n ~sink s (r : Engine.result) = cost ~n ~sink s ~duration:r.duration
+
+let pp ppf = function
+  | Finite i -> Format.fprintf ppf "%d" i
+  | At_least i -> Format.fprintf ppf ">=%d" i
+
+let equal a b =
+  match (a, b) with
+  | Finite x, Finite y | At_least x, At_least y -> x = y
+  | Finite _, At_least _ | At_least _, Finite _ -> false
+
+let to_float = function Finite i | At_least i -> float_of_int i

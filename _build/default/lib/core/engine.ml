@@ -1,0 +1,149 @@
+module Schedule = Doda_dynamic.Schedule
+module Interaction = Doda_dynamic.Interaction
+
+type transmission = { time : int; sender : int; receiver : int }
+
+type stop_reason = All_aggregated | Schedule_exhausted | Step_limit
+
+type result = {
+  stop : stop_reason;
+  duration : int option;
+  steps : int;
+  transmissions : transmission list;
+  holders : bool array;
+}
+
+type state = {
+  algo_name : string;
+  schedule : Schedule.t;
+  instance : Algorithm.instance;
+  sink : int;
+  holds : bool array;
+  mutable owner_count : int;
+  mutable clock : int;
+  mutable log : transmission list;  (* reverse chronological *)
+  mutable last_time : int;
+}
+
+let start ?knowledge (algo : Algorithm.t) schedule =
+  let n = Schedule.n schedule in
+  let sink = Schedule.sink schedule in
+  let knowledge =
+    match knowledge with
+    | Some k -> k
+    | None -> Knowledge.for_schedule schedule algo.requires
+  in
+  Algorithm.check_knowledge algo.name knowledge algo.requires;
+  {
+    algo_name = algo.name;
+    schedule;
+    instance = algo.make ~n ~sink knowledge;
+    sink;
+    holds = Array.make n true;
+    owner_count = n;
+    clock = 0;
+    log = [];
+    last_time = -1;
+  }
+
+type step_outcome = Stepped of transmission option | Finished of stop_reason
+
+let step st =
+  if st.owner_count = 1 then Finished All_aggregated
+  else
+    match Schedule.get st.schedule st.clock with
+    | None -> Finished Schedule_exhausted
+    | Some i ->
+        let t = st.clock in
+        st.instance.observe ~time:t i;
+        let a = Interaction.u i and b = Interaction.v i in
+        let outcome =
+          if st.holds.(a) && st.holds.(b) then begin
+            match st.instance.decide ~time:t i with
+            | None -> None
+            | Some receiver ->
+                if not (Interaction.involves i receiver) then
+                  invalid_arg
+                    (Printf.sprintf "Engine.step: %s returned a non-endpoint receiver"
+                       st.algo_name);
+                let sender = Interaction.other i receiver in
+                if sender = st.sink then
+                  invalid_arg
+                    (Printf.sprintf "Engine.step: %s made the sink transmit"
+                       st.algo_name);
+                st.holds.(sender) <- false;
+                st.owner_count <- st.owner_count - 1;
+                let tr = { time = t; sender; receiver } in
+                st.log <- tr :: st.log;
+                st.last_time <- t;
+                Some tr
+          end
+          else None
+        in
+        st.clock <- st.clock + 1;
+        Stepped outcome
+
+let time st = st.clock
+let owners st = st.owner_count
+let owns st v = st.holds.(v)
+let holders_snapshot st = Array.copy st.holds
+let transmissions_so_far st = List.rev st.log
+
+let finish st stop =
+  {
+    stop;
+    duration = (if stop = All_aggregated then Some st.last_time else None);
+    steps = st.clock;
+    transmissions = List.rev st.log;
+    holders = st.holds;
+  }
+
+let run ?knowledge ?max_steps (algo : Algorithm.t) schedule =
+  let limit =
+    match (max_steps, Schedule.length schedule) with
+    | Some m, Some len -> Stdlib.min m len
+    | Some m, None -> m
+    | None, Some len -> len
+    | None, None ->
+        invalid_arg "Engine.run: max_steps is mandatory for unbounded schedules"
+  in
+  let st = start ?knowledge algo schedule in
+  let rec loop () =
+    if st.clock >= limit then begin
+      let reason =
+        if st.owner_count = 1 then All_aggregated
+        else
+          match Schedule.length schedule with
+          | Some len when st.clock >= len -> Schedule_exhausted
+          | Some _ | None -> Step_limit
+      in
+      finish st reason
+    end
+    else
+      match step st with
+      | Finished reason -> finish st reason
+      | Stepped _ -> loop ()
+  in
+  loop ()
+
+let transmissions_of_node result node =
+  List.filter
+    (fun tr -> tr.sender = node || tr.receiver = node)
+    result.transmissions
+
+let count_owners result =
+  Array.fold_left (fun acc h -> if h then acc + 1 else acc) 0 result.holders
+
+let pp_result ppf r =
+  let reason =
+    match r.stop with
+    | All_aggregated -> "aggregated"
+    | Schedule_exhausted -> "schedule exhausted"
+    | Step_limit -> "step limit"
+  in
+  Format.fprintf ppf "@[<v>stop: %s@,steps: %d@,transmissions: %d@," reason r.steps
+    (List.length r.transmissions);
+  (match r.duration with
+  | Some d -> Format.fprintf ppf "duration: %d@," d
+  | None -> Format.fprintf ppf "duration: -@,");
+  Format.fprintf ppf "owners left: %d@]" (count_owners r)

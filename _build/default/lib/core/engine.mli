@@ -1,0 +1,100 @@
+(** Execution engine: plays a schedule of interactions against a DODA
+    algorithm and enforces the model of Section 2.
+
+    Initially every node owns a data item. During interaction
+    [I_t = {u, v}], if both nodes still own data the algorithm may
+    order one to transmit to the other; the receiver aggregates. A node
+    that transmitted owns nothing, can never transmit again, and can no
+    longer receive. The run terminates when the sink is the only node
+    owning data.
+
+    {!run} executes to completion; the {!state} API steps one
+    interaction at a time, for debuggers, visualisations and tests that
+    inspect intermediate states. *)
+
+type transmission = { time : int; sender : int; receiver : int }
+
+type stop_reason =
+  | All_aggregated  (** the sink is the only data owner *)
+  | Schedule_exhausted  (** finite schedule ended first *)
+  | Step_limit  (** [max_steps] interactions processed *)
+
+type result = {
+  stop : stop_reason;
+  duration : int option;
+      (** Time (interaction index) of the final transmission, when
+          [stop = All_aggregated]; the paper's [duration(A, I)]. *)
+  steps : int;  (** Interactions processed. *)
+  transmissions : transmission list;  (** Chronological. *)
+  holders : bool array;  (** Who still owns data at the end. *)
+}
+
+(** {1 Whole runs} *)
+
+val run :
+  ?knowledge:Knowledge.t -> ?max_steps:int -> Algorithm.t ->
+  Doda_dynamic.Schedule.t -> result
+(** [run algo sched] executes [algo] against [sched].
+
+    [knowledge] defaults to [Knowledge.for_schedule sched algo.requires]
+    — exactly the oracles the algorithm declares.
+
+    [max_steps] bounds the number of interactions processed; it
+    defaults to the schedule length and is mandatory for generator
+    schedules. The engine stops early as soon as aggregation completes.
+
+    @raise Invalid_argument if required knowledge cannot be built, if
+    [max_steps] is missing for an unbounded schedule, or if the
+    algorithm misbehaves (returns a non-endpoint, or makes the sink
+    transmit). *)
+
+(** {1 Stepping} *)
+
+type state
+(** A run in progress. *)
+
+val start :
+  ?knowledge:Knowledge.t -> Algorithm.t -> Doda_dynamic.Schedule.t -> state
+(** [start algo sched] initialises a run without executing anything.
+    @raise Invalid_argument on missing knowledge. *)
+
+type step_outcome =
+  | Stepped of transmission option
+      (** One interaction processed; the transmission it carried, if
+          any. *)
+  | Finished of stop_reason
+      (** Nothing processed: aggregation already complete, or the
+          schedule ended. [Step_limit] is never returned by [step]
+          (the caller owns the loop). *)
+
+val step : state -> step_outcome
+(** Process the next interaction.
+    @raise Invalid_argument on algorithm misbehaviour. *)
+
+val time : state -> int
+(** Interactions processed so far. *)
+
+val owners : state -> int
+(** Nodes currently owning data. *)
+
+val owns : state -> int -> bool
+
+val holders_snapshot : state -> bool array
+(** Fresh copy of the ownership vector. *)
+
+val transmissions_so_far : state -> transmission list
+(** Chronological. *)
+
+val finish : state -> stop_reason -> result
+(** Package the current state as a {!result} (e.g. after deciding to
+    stop at a step limit). *)
+
+(** {1 Result helpers} *)
+
+val transmissions_of_node : result -> int -> transmission list
+(** Transmissions in which the node was sender or receiver. *)
+
+val count_owners : result -> int
+(** Number of nodes still owning data at the end. *)
+
+val pp_result : Format.formatter -> result -> unit

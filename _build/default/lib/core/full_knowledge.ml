@@ -1,0 +1,33 @@
+module Interaction = Doda_dynamic.Interaction
+
+let make ?horizon () =
+  {
+    Algorithm.name = "full-knowledge";
+    oblivious = false;
+    requires = [ Knowledge.Full_schedule ];
+    make =
+      (fun ~n ~sink:_ knowledge ->
+        let sched = Option.get knowledge.Knowledge.full in
+        let horizon = match horizon with Some h -> h | None -> 64 * n * n in
+        let plan =
+          Option.map fst (Convergecast.optimal_duration_lazy sched ~start:0 ~horizon)
+        in
+        match plan with
+        | None ->
+            {
+              Algorithm.observe = Algorithm.no_observation;
+              decide = (fun ~time:_ _ -> None);
+            }
+        | Some plan ->
+            {
+              Algorithm.observe = Algorithm.no_observation;
+              decide =
+                (fun ~time i ->
+                  let a = Interaction.u i and b = Interaction.v i in
+                  if plan.Convergecast.fire_time.(a) = time then Some b
+                  else if plan.Convergecast.fire_time.(b) = time then Some a
+                  else None);
+            });
+  }
+
+let algorithm = make ()

@@ -1,0 +1,16 @@
+(** The full-knowledge optimal algorithm (Theorem 8 / Corollary 1).
+
+    Given the entire sequence of interactions, the optimal schedule is
+    computed upfront ({!Convergecast.plan}) and followed verbatim, so
+    the run terminates exactly at [opt(0)] — [Theta(n log n)]
+    interactions w.h.p. under the randomized adversary.
+
+    On a lazily generated schedule the plan is computed over a
+    geometrically grown prefix, up to [horizon] interactions (default
+    [64 * n^2], far beyond the w.h.p. bound). If no convergecast fits
+    within the horizon the instance never transmits. *)
+
+val make : ?horizon:int -> unit -> Algorithm.t
+
+val algorithm : Algorithm.t
+(** [make ()] with the default horizon. *)

@@ -1,0 +1,103 @@
+module Interaction = Doda_dynamic.Interaction
+module Sequence = Doda_dynamic.Sequence
+
+(* Reconstruct the full sequence from the futures of all nodes: every
+   interaction (t, {u, v}) appears in the futures of exactly u and v. *)
+let sequence_of_futures ~n future_of =
+  let table = Hashtbl.create 997 in
+  for u = 0 to n - 1 do
+    List.iter (fun (t, i) -> Hashtbl.replace table t i) (future_of u)
+  done;
+  let times = Hashtbl.fold (fun t _ acc -> t :: acc) table [] in
+  let times = List.sort compare times in
+  (* The model has one interaction per time unit starting at 0. *)
+  List.iteri
+    (fun idx t ->
+      if idx <> t then failwith "Future_gossip: futures do not form a full sequence")
+    times;
+  Sequence.of_array (Array.of_list (List.map (fun t -> Hashtbl.find table t) times))
+
+(* Gossip dynamics are deterministic given the sequence: known.(v) is
+   the set of nodes whose futures v knows; interactions merge the two
+   sets. Returns the first time index after which everyone knows
+   everything, if any. *)
+let simulate_gossip ~n seq =
+  let known = Array.init n (fun v -> Array.init n (fun w -> v = w)) in
+  let cardinal = Array.make n 1 in
+  let complete = ref (if n = 1 then 1 else 0) in
+  let t_star = ref None in
+  let len = Sequence.length seq in
+  let t = ref 0 in
+  while !t_star = None && !t < len do
+    let i = Sequence.get seq !t in
+    let a = Interaction.u i and b = Interaction.v i in
+    let ka = known.(a) and kb = known.(b) in
+    for w = 0 to n - 1 do
+      if ka.(w) && not kb.(w) then begin
+        kb.(w) <- true;
+        cardinal.(b) <- cardinal.(b) + 1;
+        if cardinal.(b) = n then incr complete
+      end
+      else if kb.(w) && not ka.(w) then begin
+        ka.(w) <- true;
+        cardinal.(a) <- cardinal.(a) + 1;
+        if cardinal.(a) = n then incr complete
+      end
+    done;
+    if !complete = n then t_star := Some !t;
+    incr t
+  done;
+  !t_star
+
+let algorithm =
+  {
+    Algorithm.name = "future-gossip";
+    oblivious = false;
+    requires = [ Knowledge.Own_future ];
+    make =
+      (fun ~n ~sink knowledge ->
+        let future_of = Option.get knowledge.Knowledge.future_of in
+        (* Online gossip state: what each node currently knows. *)
+        let known = Array.init n (fun v -> Array.init n (fun w -> v = w)) in
+        let cardinal = Array.make n 1 in
+        (* Computed by the first node that completes its knowledge;
+           deterministic, so every complete node agrees. *)
+        let resolution = lazy (
+          let seq = sequence_of_futures ~n future_of in
+          match simulate_gossip ~n seq with
+          | None -> None
+          | Some t_star ->
+              Option.map
+                (fun plan -> (t_star, plan))
+                (Convergecast.plan ~n ~sink seq ~start:(t_star + 1)))
+        in
+        let merge a b =
+          let ka = known.(a) and kb = known.(b) in
+          for w = 0 to n - 1 do
+            if ka.(w) && not kb.(w) then begin
+              kb.(w) <- true;
+              cardinal.(b) <- cardinal.(b) + 1
+            end
+            else if kb.(w) && not ka.(w) then begin
+              ka.(w) <- true;
+              cardinal.(a) <- cardinal.(a) + 1
+            end
+          done
+        in
+        {
+          Algorithm.observe =
+            (fun ~time:_ i -> merge (Interaction.u i) (Interaction.v i));
+          decide =
+            (fun ~time i ->
+              let a = Interaction.u i and b = Interaction.v i in
+              if cardinal.(a) < n || cardinal.(b) < n then None
+              else
+                match Lazy.force resolution with
+                | None -> None
+                | Some (t_star, plan) ->
+                    if time <= t_star then None
+                    else if plan.Convergecast.fire_time.(a) = time then Some b
+                    else if plan.Convergecast.fire_time.(b) = time then Some a
+                    else None);
+        });
+  }

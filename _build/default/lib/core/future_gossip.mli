@@ -1,0 +1,19 @@
+(** The future-gossip algorithm of Theorem 6 ([DODA(future)]).
+
+    Each node initially knows its own future (all its interactions,
+    with times). Whenever two nodes interact they merge what they know
+    — control information is free in the model, and the union of all
+    futures is the entire sequence. Once a node knows all [n] futures
+    it can reconstruct the whole execution, {e simulate the gossip
+    itself} to compute the deterministic time [t*] at which the last
+    node completes its knowledge, and follow the optimal convergecast
+    plan starting at [t* + 1]. All complete nodes compute the same
+    [t*] and the same plan, so the transmissions are consistent.
+
+    Theorem 6 shows this costs at most [n] convergecasts; under the
+    randomized adversary it terminates in [Theta(n log n)] interactions
+    (Corollary 1). Requires a finite schedule (the adversary commits to
+    the sequence — the oblivious/randomized setting the theorem
+    addresses). *)
+
+val algorithm : Algorithm.t

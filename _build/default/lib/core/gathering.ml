@@ -1,0 +1,17 @@
+module Interaction = Doda_dynamic.Interaction
+
+let algorithm =
+  {
+    Algorithm.name = "gathering";
+    oblivious = true;
+    requires = [];
+    make =
+      (fun ~n:_ ~sink _knowledge ->
+        {
+          Algorithm.observe = Algorithm.no_observation;
+          decide =
+            (fun ~time:_ i ->
+              if Interaction.involves i sink then Some sink
+              else Some (Interaction.u i));
+        });
+  }

@@ -1,0 +1,10 @@
+(** The Gathering algorithm (Section 4): a node transmits whenever it
+    can — to the sink if present, otherwise to the interacting partner
+    (the endpoint with the smaller identifier receives, matching the
+    paper's tie-breaking on ordered inputs). Oblivious, no knowledge.
+
+    Terminates in [O(n^2)] expected interactions under the randomized
+    adversary (Theorem 9), which is optimal among algorithms without
+    knowledge (Theorem 7 / Corollary 2). *)
+
+val algorithm : Algorithm.t

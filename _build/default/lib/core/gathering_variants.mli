@@ -1,0 +1,26 @@
+(** Tie-break variants of the Gathering algorithm.
+
+    The paper's Gathering transmits whenever possible and breaks the
+    symmetry between two data-owning nodes by identifier (the smaller
+    one receives). The choice does not affect the O(n^2) bound
+    (Theorem 9's analysis never uses it), but it does change constants
+    and the distribution of aggregation depth — these variants make
+    that measurable (bench experiment [variants]).
+
+    [More_data] routes the merged datum toward the endpoint already
+    carrying more aggregated items (ties to the smaller id); the
+    instance tracks payload sizes itself, so the variant is
+    memoryful. *)
+
+type tiebreak =
+  | Smaller_id  (** the paper's choice: smaller identifier receives *)
+  | Larger_id
+  | More_data  (** heavier payload receives *)
+  | Hash  (** pseudo-random per (time, pair) coin *)
+
+val tiebreak_name : tiebreak -> string
+
+val make : tiebreak -> Algorithm.t
+
+val all : Algorithm.t list
+(** One instance per tie-break. *)

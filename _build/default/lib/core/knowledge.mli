@@ -1,0 +1,52 @@
+(** Node knowledge (Section 2.1 of the paper).
+
+    By default a node only knows its identifier and whether it is the
+    sink. A DODA algorithm may additionally require oracles; this
+    module names them ({!requirement}) and bundles their
+    implementations ({!t}). Oracles are derived from the schedule that
+    drives the run ({!for_schedule}), or injected directly when known
+    by construction ({!with_underlying}). *)
+
+type requirement =
+  | Meet_time
+      (** [u.meetTime t]: first time [> t] at which [u] interacts with
+          the sink (Section 4.3). *)
+  | Underlying_graph
+      (** The underlying graph of the whole sequence (Section 3.2). *)
+  | Own_future
+      (** Each node's own future interactions with times (Section 3.3). *)
+  | Full_schedule  (** The entire sequence of interactions. *)
+
+val requirement_name : requirement -> string
+
+type t = {
+  underlying : Doda_graph.Static_graph.t option;
+  meet_time : (node:int -> time:int -> limit:int -> int option) option;
+      (** [meet_time ~node ~time ~limit] is the first interaction time
+          in [(time, limit]] at which [node] meets the sink, [None] if
+          there is none up to [limit]. The cap keeps lazily generated
+          schedules lazy; callers that need the uncapped value pass a
+          horizon-sized limit. *)
+  future_of : (int -> (int * Doda_dynamic.Interaction.t) list) option;
+      (** Whole future of a node, from time 0, in time order. *)
+  full : Doda_dynamic.Schedule.t option;
+}
+
+val empty : t
+(** No oracles at all — the knowledge of Waiting and Gathering. *)
+
+val for_schedule : Doda_dynamic.Schedule.t -> requirement list -> t
+(** [for_schedule sched reqs] builds exactly the requested oracles from
+    [sched]. [Own_future] and [Underlying_graph] need a finite
+    schedule. @raise Invalid_argument when a requested oracle cannot be
+    built. *)
+
+val with_underlying : Doda_graph.Static_graph.t -> t -> t
+(** Injects an underlying graph known by construction (e.g. when the
+    schedule is drawn over a fixed graph), without scanning the
+    schedule. *)
+
+val satisfies : t -> requirement list -> bool
+(** Do all the requested oracles have implementations? *)
+
+val missing : t -> requirement list -> requirement list

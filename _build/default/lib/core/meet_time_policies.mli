@@ -1,0 +1,26 @@
+(** Alternative policies over the [meetTime] oracle.
+
+    Theorem 11 says Waiting Greedy with
+    [tau = Theta(n^{3/2} sqrt(log n))] is optimal among algorithms
+    knowing only [meetTime]. These competitors make the claim
+    falsifiable in experiments ([policies] bench): each uses the same
+    oracle, none should beat the tuned WG.
+
+    - {!pure_greedy}: the node with the later next sink-meeting always
+      transmits — WG without a deadline guard ([tau = 0] relative
+      ordering at every interaction). Aggressive: it spends
+      transmissions on pairs that would both have met the sink soon.
+    - {!sliding_window}: transmit only when the sender's next meeting
+      is more than [theta] away from {e now} — a relative deadline
+      instead of WG's absolute one. Patient: stragglers keep waiting
+      near the end instead of falling back to Gathering. *)
+
+val pure_greedy : horizon:int -> Algorithm.t
+(** [horizon] caps the oracle lookahead (meet times beyond it compare
+    as "late", ties by a deterministic coin).
+    @raise Invalid_argument if [horizon < 1]. *)
+
+val sliding_window : theta:int -> Algorithm.t
+(** Sender = the endpoint with the later meet time, but only if that
+    meet time exceeds [time + theta].
+    @raise Invalid_argument if [theta < 0]. *)

@@ -1,0 +1,42 @@
+module Interaction = Doda_dynamic.Interaction
+module Spanning_tree = Doda_graph.Spanning_tree
+
+type tree_choice = Bfs | Kruskal
+
+let make ?(tree = Bfs) () =
+  let tree_name = match tree with Bfs -> "" | Kruskal -> "(kruskal)" in
+  {
+    Algorithm.name = "tree-aggregation" ^ tree_name;
+    oblivious = false;
+    requires = [ Knowledge.Underlying_graph ];
+    make =
+      (fun ~n:_ ~sink knowledge ->
+        let graph = Option.get knowledge.Knowledge.underlying in
+        let tree =
+          match tree with
+          | Bfs -> Spanning_tree.bfs_tree graph ~root:sink
+          | Kruskal -> Spanning_tree.kruskal_tree graph ~root:sink
+        in
+        let pending =
+          Array.init (Spanning_tree.size tree) (fun u ->
+              List.length (Spanning_tree.children tree u))
+        in
+        let ready u = u <> sink && pending.(u) = 0 in
+        {
+          Algorithm.observe = Algorithm.no_observation;
+          decide =
+            (fun ~time:_ i ->
+              let a = Interaction.u i and b = Interaction.v i in
+              if Spanning_tree.parent tree a = b && ready a then begin
+                pending.(b) <- pending.(b) - 1;
+                Some b
+              end
+              else if Spanning_tree.parent tree b = a && ready b then begin
+                pending.(a) <- pending.(a) - 1;
+                Some a
+              end
+              else None);
+        });
+  }
+
+let algorithm = make ()

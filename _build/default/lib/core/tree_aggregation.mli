@@ -1,0 +1,30 @@
+(** The spanning-tree algorithm of Theorems 4 and 5.
+
+    All nodes are given the underlying graph and deterministically
+    compute the same spanning tree rooted at the sink. A node transmits
+    to its tree parent as soon as it has received the data of all its
+    tree children; transmissions happen only along tree edges.
+
+    If every edge of the underlying graph occurs infinitely often
+    (Theorem 4), the algorithm terminates with finite cost; if the
+    underlying graph {e is} a tree (Theorem 5), it is optimal
+    (cost 1): its unique transmission order is forced, so no offline
+    schedule can do better. On non-tree graphs its cost is unbounded —
+    experiment E9 exhibits the gap.
+
+    The per-node memory is a count of children heard from, so this
+    algorithm is {e not} oblivious. *)
+
+type tree_choice =
+  | Bfs  (** shallow BFS tree, ties by node id (the default) *)
+  | Kruskal  (** lexicographically-least edge set; typically deeper *)
+
+val make : ?tree:tree_choice -> unit -> Algorithm.t
+(** Requires {!Knowledge.Underlying_graph}; the graph must be
+    connected (otherwise instance creation raises
+    [Invalid_argument]). Which deterministic tree the nodes agree on is
+    an implementation degree of freedom the theorems leave open; the
+    [variants] bench measures its impact. *)
+
+val algorithm : Algorithm.t
+(** [make ()] — BFS tree. *)

@@ -1,0 +1,91 @@
+module Sequence = Doda_dynamic.Sequence
+module Interaction = Doda_dynamic.Interaction
+
+type violation =
+  | Out_of_order of int
+  | Bad_time of int
+  | Wrong_interaction of int
+  | Sender_without_data of int
+  | Receiver_without_data of int
+  | Sink_transmitted of int
+  | Duplicate_sender of int
+
+let pp_violation ppf v =
+  let p fmt = Format.fprintf ppf fmt in
+  match v with
+  | Out_of_order i -> p "transmission #%d out of time order" i
+  | Bad_time i -> p "transmission #%d outside the sequence" i
+  | Wrong_interaction i -> p "transmission #%d does not match I_t" i
+  | Sender_without_data i -> p "transmission #%d: sender already transmitted" i
+  | Receiver_without_data i -> p "transmission #%d: receiver already transmitted" i
+  | Sink_transmitted i -> p "transmission #%d: sink as sender" i
+  | Duplicate_sender i -> p "transmission #%d: sender transmits twice" i
+
+let execution ~n ~sink s transmissions =
+  let holds = Array.make n true in
+  let violations = ref [] in
+  let flag v = violations := v :: !violations in
+  let previous_time = ref (-1) in
+  List.iteri
+    (fun idx (tr : Engine.transmission) ->
+      if tr.time <= !previous_time then flag (Out_of_order idx);
+      previous_time := Stdlib.max !previous_time tr.time;
+      if tr.time < 0 || tr.time >= Sequence.length s then flag (Bad_time idx)
+      else begin
+        let i = Sequence.get s tr.time in
+        if
+          not
+            (Interaction.involves i tr.sender
+            && Interaction.involves i tr.receiver
+            && tr.sender <> tr.receiver)
+        then flag (Wrong_interaction idx)
+      end;
+      if tr.sender = sink then flag (Sink_transmitted idx);
+      if tr.sender >= 0 && tr.sender < n then begin
+        if not holds.(tr.sender) then flag (Sender_without_data idx);
+        (* A sender without data is also a duplicate if it appeared as
+           sender before; distinguish for clearer reports. *)
+        if
+          List.exists
+            (fun (other : Engine.transmission) ->
+              other != tr && other.sender = tr.sender && other.time < tr.time)
+            transmissions
+          && not holds.(tr.sender)
+        then flag (Duplicate_sender idx)
+      end;
+      if tr.receiver >= 0 && tr.receiver < n && not holds.(tr.receiver) then
+        flag (Receiver_without_data idx);
+      if tr.sender >= 0 && tr.sender < n then holds.(tr.sender) <- false)
+    transmissions;
+  List.rev !violations
+
+let complete ~n ~sink s transmissions =
+  execution ~n ~sink s transmissions = []
+  && List.length transmissions = n - 1
+  &&
+  let sent = Array.make n false in
+  List.iter (fun (tr : Engine.transmission) -> sent.(tr.sender) <- true) transmissions;
+  let all = ref true in
+  for v = 0 to n - 1 do
+    if v <> sink && not sent.(v) then all := false
+  done;
+  !all
+
+let plan ~n ~sink s (p : Convergecast.plan) =
+  let log = ref [] in
+  for v = 0 to n - 1 do
+    if v <> sink && p.Convergecast.fire_time.(v) >= 0 then
+      log :=
+        {
+          Engine.time = p.Convergecast.fire_time.(v);
+          sender = v;
+          receiver = p.Convergecast.fire_to.(v);
+        }
+        :: !log
+  done;
+  let chronological =
+    List.sort
+      (fun (a : Engine.transmission) b -> Int.compare a.time b.time)
+      !log
+  in
+  execution ~n ~sink s chronological

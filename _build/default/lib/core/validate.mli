@@ -1,0 +1,33 @@
+(** Independent validation of executions and convergecast plans.
+
+    A second, deliberately simple implementation of the model rules,
+    used to cross-check the engine and the plan extractor in tests
+    (redundancy against bugs in the main path), and to vet externally
+    produced schedules. *)
+
+type violation =
+  | Out_of_order of int  (** transmission index not in time order *)
+  | Bad_time of int  (** time outside the sequence *)
+  | Wrong_interaction of int
+      (** sender/receiver are not the endpoints of [I_t] *)
+  | Sender_without_data of int  (** sender had already transmitted *)
+  | Receiver_without_data of int  (** receiver had already transmitted *)
+  | Sink_transmitted of int
+  | Duplicate_sender of int  (** node transmits a second time *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val execution :
+  n:int -> sink:int -> Doda_dynamic.Sequence.t -> Engine.transmission list ->
+  violation list
+(** [execution ~n ~sink s transmissions] replays the transmission log
+    against the model rules; returns all violations ([[]] iff the log
+    is a valid partial execution). *)
+
+val complete :
+  n:int -> sink:int -> Doda_dynamic.Sequence.t -> Engine.transmission list -> bool
+(** Valid {e and} every non-sink node transmitted — a full aggregation. *)
+
+val plan :
+  n:int -> sink:int -> Doda_dynamic.Sequence.t -> Convergecast.plan -> violation list
+(** Check a convergecast plan by converting it to a transmission log. *)

@@ -1,0 +1,7 @@
+(** The Waiting algorithm (Section 4): a node transmits only when
+    interacting with the sink. Oblivious, no knowledge. Under the
+    randomized adversary it terminates in [O(n^2 log n)] interactions
+    in expectation (Theorem 9) — a coupon-collector pattern on the
+    sink's meetings. *)
+
+val algorithm : Algorithm.t

@@ -1,0 +1,45 @@
+(** The Waiting Greedy algorithm [WG_tau] (Section 4.3).
+
+    At interaction [{u1, u2}] at time [t], with [m_i = u_i.meetTime(t)]
+    (and [meetTime] the identity for the sink):
+
+    - output [u1] (i.e. [u2] transmits) if [m1 <= m2] and [tau < m2];
+    - output [u2] if [m1 > m2] and [tau < m1];
+    - no transmission otherwise.
+
+    The node with the later next sink-meeting transmits, provided that
+    meeting falls after the deadline [tau]. With
+    [tau = Theta(n^{3/2} sqrt(log n))] (Corollary 3) the algorithm
+    terminates by time [tau] w.h.p. under the randomized adversary, and
+    no algorithm in [DODA(meetTime)] does better (Theorem 11).
+
+    Implementation note: the [meetTime] oracle is consulted with cap
+    [tau], which keeps lazily generated schedules lazy. The cap changes
+    no decision except when {e both} meet times exceed [tau] — there
+    the paper transmits from the node with the larger meet time, two
+    values the analysis itself treats as exchangeable (proof of
+    Theorem 11: "using this information ... is the same as choosing
+    the sender randomly"); we pick the sender by a deterministic hash
+    of [(t, u1, u2)], which keeps runs reproducible. Pass [~exact:true]
+    to consult the oracle up to the full schedule horizon instead
+    (finite schedules only). *)
+
+val make : ?exact:bool -> tau:int -> unit -> Algorithm.t
+(** [make ~tau ()] is [WG_tau]. @raise Invalid_argument if [tau < 0]. *)
+
+val with_recommended_tau : ?exact:bool -> int -> Algorithm.t
+(** [with_recommended_tau n] is [WG_tau] with
+    [tau = Theory.recommended_tau n]. *)
+
+val doubling : ?tau0:int -> unit -> Algorithm.t
+(** Waiting Greedy without knowing [n] (the paper's [tau] needs
+    [n^{3/2} sqrt(log n)], i.e. global knowledge): run [WG_tau] with
+    deadline schedule [tau_k = tau0 * 2^k] — while the current time is
+    below [tau_k], decisions are those of [WG_{tau_k}]; once it passes,
+    the deadline doubles. At most [log2(tau/tau0)] extra rounds are
+    spent beyond the right deadline, so termination stays within a
+    constant factor of the known-[n] optimum while requiring only the
+    [meetTime] oracle. [tau0] defaults to 16. An experimental
+    extension (the paper leaves knowledge-free tuning open);
+    experiment E6 compares it against the tuned version.
+    @raise Invalid_argument if [tau0 < 1]. *)

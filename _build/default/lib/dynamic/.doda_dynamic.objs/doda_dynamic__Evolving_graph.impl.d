@@ -1,0 +1,1 @@
+lib/dynamic/evolving_graph.ml: Array Doda_graph Generators Hashtbl List Option Sequence Stdlib Underlying

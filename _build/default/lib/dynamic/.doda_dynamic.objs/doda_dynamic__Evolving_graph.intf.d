@@ -1,0 +1,1 @@
+lib/dynamic/evolving_graph.mli: Doda_graph Sequence

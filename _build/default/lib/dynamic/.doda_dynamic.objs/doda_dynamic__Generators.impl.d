@@ -1,0 +1,1 @@
+lib/dynamic/generators.ml: Array Doda_graph Doda_prng Interaction List Sequence

@@ -1,0 +1,1 @@
+lib/dynamic/generators.mli: Doda_graph Doda_prng Interaction Sequence

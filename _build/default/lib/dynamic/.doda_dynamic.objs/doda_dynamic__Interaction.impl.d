@@ -1,0 +1,1 @@
+lib/dynamic/interaction.ml: Format Int Printf

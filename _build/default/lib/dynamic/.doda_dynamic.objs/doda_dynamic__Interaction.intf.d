@@ -1,0 +1,1 @@
+lib/dynamic/interaction.mli: Format

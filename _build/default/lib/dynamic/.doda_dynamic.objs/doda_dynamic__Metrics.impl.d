@@ -1,0 +1,1 @@
+lib/dynamic/metrics.ml: Array Buffer Hashtbl Interaction List Option Printf Sequence Stdlib

@@ -1,0 +1,1 @@
+lib/dynamic/metrics.mli: Sequence

@@ -1,0 +1,1 @@
+lib/dynamic/mobility.ml: Array Doda_prng Interaction List Stdlib

@@ -1,0 +1,1 @@
+lib/dynamic/mobility.mli: Doda_prng Interaction

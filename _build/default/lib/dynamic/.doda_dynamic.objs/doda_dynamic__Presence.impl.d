@@ -1,0 +1,1 @@
+lib/dynamic/presence.ml: Doda_graph Doda_prng Evolving_graph Hashtbl List Stdlib

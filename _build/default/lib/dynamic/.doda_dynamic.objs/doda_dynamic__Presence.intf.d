@@ -1,0 +1,1 @@
+lib/dynamic/presence.mli: Doda_graph Doda_prng Evolving_graph Sequence

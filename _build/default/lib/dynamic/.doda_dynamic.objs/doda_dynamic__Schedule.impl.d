@@ -1,0 +1,1 @@
+lib/dynamic/schedule.ml: Array Interaction Sequence Stdlib Vec

@@ -1,0 +1,1 @@
+lib/dynamic/schedule.mli: Interaction Sequence

@@ -1,0 +1,1 @@
+lib/dynamic/sequence.ml: Array Format Interaction List Stdlib

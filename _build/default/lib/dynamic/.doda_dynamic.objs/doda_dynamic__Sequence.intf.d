@@ -1,0 +1,1 @@
+lib/dynamic/sequence.mli: Format Interaction

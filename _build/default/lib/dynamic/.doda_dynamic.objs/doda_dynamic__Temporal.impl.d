@@ -1,0 +1,1 @@
+lib/dynamic/temporal.ml: Array Interaction Sequence Stdlib

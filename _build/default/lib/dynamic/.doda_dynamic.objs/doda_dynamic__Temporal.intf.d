@@ -1,0 +1,1 @@
+lib/dynamic/temporal.mli: Interaction Sequence

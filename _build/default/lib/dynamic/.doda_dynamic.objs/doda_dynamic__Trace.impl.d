@@ -1,0 +1,1 @@
+lib/dynamic/trace.ml: Fun Interaction List Printf Sequence String

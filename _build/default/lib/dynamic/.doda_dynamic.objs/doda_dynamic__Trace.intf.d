@@ -1,0 +1,1 @@
+lib/dynamic/trace.mli: Sequence

@@ -1,0 +1,1 @@
+lib/dynamic/underlying.ml: Doda_graph Hashtbl Interaction Schedule Sequence Stdlib

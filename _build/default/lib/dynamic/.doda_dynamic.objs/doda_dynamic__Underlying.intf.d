@@ -1,0 +1,1 @@
+lib/dynamic/underlying.mli: Doda_graph Schedule Sequence

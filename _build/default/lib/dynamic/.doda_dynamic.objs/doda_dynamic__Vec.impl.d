@@ -1,0 +1,1 @@
+lib/dynamic/vec.ml: Array Stdlib

@@ -1,0 +1,1 @@
+lib/dynamic/vec.mli:

@@ -1,0 +1,56 @@
+module Static_graph = Doda_graph.Static_graph
+module Traversal = Doda_graph.Traversal
+
+type t = { node_count : int; snapshots : Static_graph.t array }
+
+let make ~n snapshots =
+  List.iter
+    (fun g ->
+      if Static_graph.n g <> n then
+        invalid_arg "Evolving_graph.make: snapshot with wrong node count")
+    snapshots;
+  { node_count = n; snapshots = Array.of_list snapshots }
+
+let n t = t.node_count
+let length t = Array.length t.snapshots
+
+let snapshot t i =
+  if i < 0 || i >= Array.length t.snapshots then
+    invalid_arg "Evolving_graph.snapshot: index out of range";
+  t.snapshots.(i)
+
+let to_interactions t =
+  Generators.of_snapshots (Array.to_list t.snapshots)
+
+let of_interactions ~n ~window s =
+  if window <= 0 then invalid_arg "Evolving_graph.of_interactions: window <= 0";
+  let len = Sequence.length s in
+  let buckets = (len + window - 1) / window in
+  let snapshots =
+    List.init buckets (fun b ->
+        let pos = b * window in
+        let size = Stdlib.min window (len - pos) in
+        Underlying.of_sequence ~n (Sequence.sub s ~pos ~len:size))
+  in
+  { node_count = n; snapshots = Array.of_list snapshots }
+
+let union t =
+  let g = Static_graph.create t.node_count in
+  Array.iter
+    (fun snap ->
+      List.iter (fun (u, v) -> Static_graph.add_edge g u v) (Static_graph.edges snap))
+    t.snapshots;
+  g
+
+let always_connected t =
+  Array.for_all Traversal.connected t.snapshots
+
+let edge_lifetimes t =
+  let counts = Hashtbl.create 97 in
+  Array.iter
+    (fun snap ->
+      List.iter
+        (fun e -> Hashtbl.replace counts e (1 + Option.value ~default:0 (Hashtbl.find_opt counts e)))
+        (Static_graph.edges snap))
+    t.snapshots;
+  List.sort compare (Hashtbl.fold (fun e c acc -> (e, c) :: acc) counts [])

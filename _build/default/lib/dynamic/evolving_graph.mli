@@ -1,0 +1,45 @@
+(** Evolving graphs: the classical dynamic-graph model (a sequence of
+    static snapshots), and conversions to and from the paper's
+    single-interaction-per-step model.
+
+    The paper's sequence-of-interactions model is the special case of
+    an evolving graph where every snapshot has exactly one edge
+    (Section 1); these conversions make that relationship executable,
+    and let externally defined evolving-graph workloads drive the DODA
+    algorithms. *)
+
+type t
+
+val make : n:int -> Doda_graph.Static_graph.t list -> t
+(** [make ~n snapshots] checks every snapshot has [n] nodes.
+    @raise Invalid_argument otherwise. *)
+
+val n : t -> int
+
+val length : t -> int
+(** Number of snapshots. *)
+
+val snapshot : t -> int -> Doda_graph.Static_graph.t
+(** @raise Invalid_argument out of range. *)
+
+val to_interactions : t -> Sequence.t
+(** Flattens each snapshot to its edges in lexicographic order, one
+    interaction per time unit — the paper's reduction. *)
+
+val of_interactions : n:int -> window:int -> Sequence.t -> t
+(** [of_interactions ~n ~window s] buckets [s] into consecutive windows
+    of [window] interactions and takes each bucket's underlying graph
+    as a snapshot — the usual way contact traces are rendered as
+    evolving graphs. The last partial bucket is kept.
+    @raise Invalid_argument if [window <= 0]. *)
+
+val union : t -> Doda_graph.Static_graph.t
+(** Union of all snapshots (the underlying graph). *)
+
+val always_connected : t -> bool
+(** Every snapshot connected (the "1-interval connectivity" assumption
+    common in the literature); vacuously true when empty. *)
+
+val edge_lifetimes : t -> ((int * int) * int) list
+(** For each edge of the union, in how many snapshots it appears;
+    sorted by edge. *)

@@ -1,0 +1,97 @@
+module Prng = Doda_prng.Prng
+
+let uniform rng ~n _t =
+  let a, b = Prng.pair rng n in
+  Interaction.make a b
+
+let uniform_sequence rng ~n ~length =
+  Sequence.of_array (Array.init length (fun _ ->
+      let a, b = Prng.pair rng n in
+      Interaction.make a b))
+
+let weighted_nodes rng ~weights =
+  let positive = Array.fold_left (fun c w -> if w > 0.0 then c + 1 else c) 0 weights in
+  if positive < 2 then
+    invalid_arg "Generators.weighted_nodes: need at least two positive weights";
+  let dist = Prng.Alias.create weights in
+  fun _t ->
+    let a = Prng.Alias.sample rng dist in
+    let rec draw_other () =
+      let b = Prng.Alias.sample rng dist in
+      if b = a then draw_other () else b
+    in
+    Interaction.make a (draw_other ())
+
+let over_graph rng graph =
+  let edge_array = Array.of_list (Doda_graph.Static_graph.edges graph) in
+  if Array.length edge_array = 0 then
+    invalid_arg "Generators.over_graph: graph has no edges";
+  fun _t ->
+    let u, v = Prng.choose rng edge_array in
+    Interaction.make u v
+
+let all_pairs ~n =
+  let acc = ref [] in
+  for u = n - 1 downto 0 do
+    for v = n - 1 downto u + 1 do
+      acc := (u, v) :: !acc
+    done
+  done;
+  Sequence.of_pairs !acc
+
+let round_robin ~n =
+  let period = all_pairs ~n in
+  let len = Sequence.length period in
+  fun t -> Sequence.get period (t mod len)
+
+let periodic s =
+  let len = Sequence.length s in
+  if len = 0 then invalid_arg "Generators.periodic: empty sequence";
+  fun t -> Sequence.get s (t mod len)
+
+let of_snapshots snapshots =
+  let pairs =
+    List.concat_map (fun g -> Doda_graph.Static_graph.edges g) snapshots
+  in
+  Sequence.of_pairs pairs
+
+let markov_edges rng ~n ~p_on ~p_off =
+  if p_on <= 0.0 || p_on > 1.0 || p_off <= 0.0 || p_off > 1.0 then
+    invalid_arg "Generators.markov_edges: probabilities must lie in (0, 1]";
+  let pairs = n * (n - 1) / 2 in
+  let active = Array.make pairs false in
+  (* Triangular indexing: pair (u, v), u < v. *)
+  let index = Array.make pairs Interaction.dummy in
+  let k = ref 0 in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      index.(!k) <- Interaction.make u v;
+      incr k
+    done
+  done;
+  let present = ref [] in
+  let advance () =
+    present := [];
+    for i = pairs - 1 downto 0 do
+      active.(i) <-
+        (if active.(i) then not (Prng.bernoulli rng p_off)
+         else Prng.bernoulli rng p_on);
+      if active.(i) then present := i :: !present
+    done
+  in
+  fun _t ->
+    advance ();
+    while !present = [] do
+      advance ()
+    done;
+    index.(Prng.choose rng (Array.of_list !present))
+
+let stitch segments =
+  if segments = [] then invalid_arg "Generators.stitch: empty segment list";
+  fun t ->
+    let rec select t = function
+      | [] -> assert false
+      | [ (_, gen) ] -> gen t
+      | (len, gen) :: rest -> if t < len then gen t else select (t - len) rest
+    in
+    select t segments

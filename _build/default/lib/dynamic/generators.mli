@@ -1,0 +1,60 @@
+(** Interaction-sequence generators: the executable side of the
+    adversary models, plus structured sequences used by tests and
+    experiments.
+
+    Generator functions have type [int -> Interaction.t] (time to
+    interaction) and plug into {!Schedule.of_fun}; finite variants
+    return a {!Sequence.t}. *)
+
+val uniform : Doda_prng.Prng.t -> n:int -> int -> Interaction.t
+(** [uniform rng ~n] draws each interaction uniformly among the
+    [n(n-1)/2] pairs — the paper's randomized adversary. The time
+    argument is ignored (draws are i.i.d.). *)
+
+val uniform_sequence : Doda_prng.Prng.t -> n:int -> length:int -> Sequence.t
+
+val weighted_nodes : Doda_prng.Prng.t -> weights:float array -> int -> Interaction.t
+(** [weighted_nodes rng ~weights] draws a pair by sampling two distinct
+    endpoints proportionally to per-node weights — the non-uniform
+    randomized adversary raised as open question 3 of the paper.
+    @raise Invalid_argument on fewer than two positive weights. *)
+
+val over_graph : Doda_prng.Prng.t -> Doda_graph.Static_graph.t -> int -> Interaction.t
+(** Draws uniformly among the edges of a fixed graph; the underlying
+    graph of the resulting schedule is (almost surely) that graph.
+    @raise Invalid_argument on a graph with no edges. *)
+
+val round_robin : n:int -> int -> Interaction.t
+(** [round_robin ~n t] cycles deterministically through all pairs in
+    lexicographic order: every pair occurs infinitely often — the
+    recurrence assumption of Theorem 4. *)
+
+val periodic : Sequence.t -> int -> Interaction.t
+(** [periodic s t] is [s] repeated forever.
+    @raise Invalid_argument on an empty sequence. *)
+
+val of_snapshots : Doda_graph.Static_graph.t list -> Sequence.t
+(** Flattens an evolving graph (sequence of static snapshots) into an
+    interaction sequence: each snapshot contributes its edges in
+    lexicographic order, one interaction per time unit. *)
+
+val all_pairs : n:int -> Sequence.t
+(** One period of {!round_robin}: each pair exactly once. *)
+
+val markov_edges :
+  Doda_prng.Prng.t -> n:int -> p_on:float -> p_off:float -> int -> Interaction.t
+(** [markov_edges rng ~n ~p_on ~p_off] drives every pair by an
+    independent two-state Markov chain (absent edges appear with
+    probability [p_on] per time unit, present ones disappear with
+    [p_off]) and draws each interaction uniformly among the currently
+    present edges (advancing the chain until at least one edge is
+    present). Models link stability/burstiness that i.i.d. uniform
+    sampling cannot. Each step costs O(n^2) — intended for small and
+    medium [n]. @raise Invalid_argument unless both probabilities lie
+    in (0, 1]. *)
+
+val stitch : (int * (int -> Interaction.t)) list -> int -> Interaction.t
+(** [stitch [(len1, g1); (len2, g2); ...]] plays [g1] for [len1] steps
+    (times 0..len1-1 passed to [g1] as 0-based), then [g2], ...; the
+    last generator runs forever regardless of its length.
+    @raise Invalid_argument on an empty list. *)

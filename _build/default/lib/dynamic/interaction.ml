@@ -1,0 +1,27 @@
+type t = { u : int; v : int }
+
+let make a b =
+  if a = b then invalid_arg "Interaction.make: self-interaction";
+  if a < 0 || b < 0 then invalid_arg "Interaction.make: negative node id";
+  if a < b then { u = a; v = b } else { u = b; v = a }
+
+let u i = i.u
+let v i = i.v
+let involves i x = i.u = x || i.v = x
+
+let other i x =
+  if x = i.u then i.v
+  else if x = i.v then i.u
+  else invalid_arg "Interaction.other: node not an endpoint"
+
+let equal a b = a.u = b.u && a.v = b.v
+
+let compare a b =
+  let c = Int.compare a.u b.u in
+  if c <> 0 then c else Int.compare a.v b.v
+
+let hash i = (i.u * 1000003) lxor i.v
+let to_pair i = (i.u, i.v)
+let pp ppf i = Format.fprintf ppf "{%d,%d}" i.u i.v
+let to_string i = Printf.sprintf "{%d,%d}" i.u i.v
+let dummy = { u = 0; v = 1 }

@@ -1,0 +1,40 @@
+(** A pairwise interaction — the atom of the paper's dynamic-graph
+    model. A dynamic graph is a couple [(V, I)] where [I = (I_t)] is a
+    sequence of interactions and the index [t] of an interaction is its
+    time of occurrence. *)
+
+type t = private { u : int; v : int }
+(** An unordered pair of distinct node ids, normalised so [u < v]. *)
+
+val make : int -> int -> t
+(** [make a b] is the interaction [{a, b}].
+    @raise Invalid_argument if [a = b] or either is negative. *)
+
+val u : t -> int
+(** Smaller endpoint. *)
+
+val v : t -> int
+(** Larger endpoint. *)
+
+val involves : t -> int -> bool
+(** [involves i x] holds iff [x] is an endpoint of [i]. *)
+
+val other : t -> int -> int
+(** [other i x] is the endpoint that is not [x].
+    @raise Invalid_argument if [x] is not an endpoint. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val to_pair : t -> int * int
+(** [(u, v)] with [u < v]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [{u,v}]. *)
+
+val to_string : t -> string
+
+val dummy : t
+(** A fixed placeholder value ([{0,1}]) for array initialisation; never
+    meaningful. *)

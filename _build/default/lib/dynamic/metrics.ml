@@ -1,0 +1,75 @@
+let activity ~n s =
+  let counts = Array.make n 0 in
+  Sequence.iteri
+    (fun _ i ->
+      counts.(Interaction.u i) <- counts.(Interaction.u i) + 1;
+      counts.(Interaction.v i) <- counts.(Interaction.v i) + 1)
+    s;
+  counts
+
+let pair_counts s =
+  let counts = Hashtbl.create 97 in
+  Sequence.iteri
+    (fun _ i ->
+      let key = Interaction.to_pair i in
+      Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    s;
+  List.sort compare (Hashtbl.fold (fun k c acc -> (k, c) :: acc) counts [])
+
+let contact_times s ~u ~v =
+  let acc = ref [] in
+  Sequence.iteri
+    (fun t i ->
+      if Interaction.involves i u && Interaction.involves i v then acc := t :: !acc)
+    s;
+  List.rev !acc
+
+let inter_contact_times s ~u ~v =
+  let rec gaps = function
+    | a :: (b :: _ as rest) -> (b - a) :: gaps rest
+    | _ -> []
+  in
+  gaps (contact_times s ~u ~v)
+
+let sink_meeting_times s ~sink =
+  let acc = ref [] in
+  Sequence.iteri (fun t i -> if Interaction.involves i sink then acc := t :: !acc) s;
+  List.rev !acc
+
+let mean_inter_contact s ~u ~v =
+  match inter_contact_times s ~u ~v with
+  | [] -> None
+  | gaps ->
+      let total = List.fold_left ( + ) 0 gaps in
+      Some (float_of_int total /. float_of_int (List.length gaps))
+
+let activity_skew ~n s =
+  if Sequence.length s = 0 then invalid_arg "Metrics.activity_skew: empty sequence";
+  let counts = activity ~n s in
+  let max_c = Array.fold_left Stdlib.max 0 counts in
+  let mean_c =
+    float_of_int (Array.fold_left ( + ) 0 counts) /. float_of_int n
+  in
+  float_of_int max_c /. mean_c
+
+let temporal_density ~n s =
+  let pairs = List.length (pair_counts s) in
+  float_of_int pairs /. float_of_int (n * (n - 1) / 2)
+
+let summary ~n ~sink s =
+  let buf = Buffer.create 256 in
+  let len = Sequence.length s in
+  Buffer.add_string buf (Printf.sprintf "interactions: %d on %d nodes\n" len n);
+  if len > 0 then begin
+    Buffer.add_string buf
+      (Printf.sprintf "temporal density: %.3f (distinct pairs / all pairs)\n"
+         (temporal_density ~n s));
+    Buffer.add_string buf
+      (Printf.sprintf "activity skew (max/mean): %.2f\n" (activity_skew ~n s));
+    let meets = sink_meeting_times s ~sink in
+    Buffer.add_string buf
+      (Printf.sprintf "sink meetings: %d (%.1f%% of interactions)\n"
+         (List.length meets)
+         (100.0 *. float_of_int (List.length meets) /. float_of_int len))
+  end;
+  Buffer.contents buf

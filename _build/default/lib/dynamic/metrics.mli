@@ -1,0 +1,32 @@
+(** Descriptive metrics of interaction sequences — the quantities one
+    inspects to understand which DODA algorithm a workload favours
+    (how often the sink appears, how bursty contacts are, how skewed
+    node activity is). *)
+
+val activity : n:int -> Sequence.t -> int array
+(** Per-node interaction counts. *)
+
+val pair_counts : Sequence.t -> ((int * int) * int) list
+(** Contact counts per unordered pair, sorted by pair. *)
+
+val inter_contact_times : Sequence.t -> u:int -> v:int -> int list
+(** Gaps between successive contacts of the pair [{u, v}], in order;
+    empty when the pair meets fewer than twice. *)
+
+val sink_meeting_times : Sequence.t -> sink:int -> int list
+(** Times of all interactions involving [sink]. *)
+
+val mean_inter_contact : Sequence.t -> u:int -> v:int -> float option
+(** Mean of {!inter_contact_times}; [None] when undefined. *)
+
+val activity_skew : n:int -> Sequence.t -> float
+(** Max over mean per-node activity: 1.0 for perfectly balanced
+    workloads, larger when a few nodes dominate.
+    @raise Invalid_argument on an empty sequence. *)
+
+val temporal_density : n:int -> Sequence.t -> float
+(** Fraction of distinct pairs that interact at least once: 1.0 when
+    the underlying graph is complete. *)
+
+val summary : n:int -> sink:int -> Sequence.t -> string
+(** Human-readable report of all the above. *)

@@ -1,0 +1,156 @@
+module Prng = Doda_prng.Prng
+
+type waypoint_params = { radius : float; speed : float; pause : int }
+
+let default_waypoint = { radius = 0.2; speed = 0.02; pause = 3 }
+
+type walker = {
+  mutable x : float;
+  mutable y : float;
+  mutable goal_x : float;
+  mutable goal_y : float;
+  mutable pause_left : int;
+}
+
+let random_waypoint ?(params = default_waypoint) rng ~n =
+  if n < 2 then invalid_arg "Mobility.random_waypoint: need at least two nodes";
+  let fresh_goal w =
+    w.goal_x <- Prng.float rng 1.0;
+    w.goal_y <- Prng.float rng 1.0
+  in
+  let walkers =
+    Array.init n (fun _ ->
+        let w =
+          {
+            x = Prng.float rng 1.0;
+            y = Prng.float rng 1.0;
+            goal_x = 0.0;
+            goal_y = 0.0;
+            pause_left = 0;
+          }
+        in
+        fresh_goal w;
+        w)
+  in
+  let advance w =
+    if w.pause_left > 0 then w.pause_left <- w.pause_left - 1
+    else begin
+      let dx = w.goal_x -. w.x and dy = w.goal_y -. w.y in
+      let dist = sqrt ((dx *. dx) +. (dy *. dy)) in
+      if dist <= params.speed then begin
+        w.x <- w.goal_x;
+        w.y <- w.goal_y;
+        w.pause_left <- params.pause;
+        fresh_goal w
+      end
+      else begin
+        w.x <- w.x +. (params.speed *. dx /. dist);
+        w.y <- w.y +. (params.speed *. dy /. dist)
+      end
+    end
+  in
+  let r2 = params.radius *. params.radius in
+  let in_range a b =
+    let dx = a.x -. b.x and dy = a.y -. b.y in
+    (dx *. dx) +. (dy *. dy) <= r2
+  in
+  let contacts = ref [] in
+  let collect () =
+    contacts := [];
+    for a = 0 to n - 1 do
+      for b = a + 1 to n - 1 do
+        if in_range walkers.(a) walkers.(b) then contacts := (a, b) :: !contacts
+      done
+    done
+  in
+  fun _t ->
+    Array.iter advance walkers;
+    collect ();
+    while !contacts = [] do
+      Array.iter advance walkers;
+      collect ()
+    done;
+    let pairs = Array.of_list !contacts in
+    let a, b = Prng.choose rng pairs in
+    Interaction.make a b
+
+let community rng ~n ~communities ~p_intra =
+  if n < 2 then invalid_arg "Mobility.community: need at least two nodes";
+  if communities < 1 then invalid_arg "Mobility.community: need at least one group";
+  if p_intra < 0.0 || p_intra > 1.0 then
+    invalid_arg "Mobility.community: p_intra outside [0, 1]";
+  let communities = Stdlib.min communities n in
+  let members = Array.make communities [] in
+  for u = n - 1 downto 0 do
+    let c = u mod communities in
+    members.(c) <- u :: members.(c)
+  done;
+  let members = Array.map Array.of_list members in
+  let big = (* groups with >= 2 members, for intra draws *)
+    Array.of_list
+      (List.filter
+         (fun c -> Array.length members.(c) >= 2)
+         (List.init communities (fun c -> c)))
+  in
+  let intra_possible = Array.length big > 0 in
+  let inter_possible = communities >= 2 in
+  fun _t ->
+    let intra =
+      if not inter_possible then true
+      else if not intra_possible then false
+      else Prng.bernoulli rng p_intra
+    in
+    if intra then begin
+      let group = members.(Prng.choose rng big) in
+      let i, j = Prng.pair rng (Array.length group) in
+      Interaction.make group.(i) group.(j)
+    end
+    else begin
+      let rec draw () =
+        let c1 = Prng.int rng communities and c2 = Prng.int rng communities in
+        if c1 = c2 then draw ()
+        else
+          Interaction.make
+            (Prng.choose rng members.(c1))
+            (Prng.choose rng members.(c2))
+      in
+      draw ()
+    end
+
+let grid_walkers rng ~n ~rows ~cols =
+  if n < 2 then invalid_arg "Mobility.grid_walkers: need at least two nodes";
+  if rows < 1 || cols < 1 then invalid_arg "Mobility.grid_walkers: empty grid";
+  let cell = Array.init n (fun _ -> (Prng.int rng rows, Prng.int rng cols)) in
+  (* Lazy walk: staying put is allowed, otherwise walkers that all
+     move each step keep the parity of r+c invariant and the contact
+     graph splits into two components that can never interact. *)
+  let step u =
+    let r, c = cell.(u) in
+    let moves =
+      List.filter
+        (fun (r, c) -> r >= 0 && r < rows && c >= 0 && c < cols)
+        [ (r, c); (r - 1, c); (r + 1, c); (r, c - 1); (r, c + 1) ]
+    in
+    cell.(u) <- Prng.choose rng (Array.of_list moves)
+  in
+  let colocated () =
+    let acc = ref [] in
+    for a = 0 to n - 1 do
+      for b = a + 1 to n - 1 do
+        if cell.(a) = cell.(b) then acc := (a, b) :: !acc
+      done
+    done;
+    !acc
+  in
+  fun _t ->
+    let rec advance () =
+      for u = 0 to n - 1 do
+        step u
+      done;
+      match colocated () with
+      | [] -> advance ()
+      | pairs ->
+          let a, b = Prng.choose rng (Array.of_list pairs) in
+          Interaction.make a b
+    in
+    advance ()

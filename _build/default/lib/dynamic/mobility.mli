@@ -1,0 +1,43 @@
+(** Mobility-driven interaction generators.
+
+    These model the paper's motivating scenarios (sensors on a human
+    body, cars in a city): node positions evolve and each time unit one
+    pair of nodes currently in contact range interacts. They produce
+    generator functions for {!Schedule.of_fun}. *)
+
+type waypoint_params = {
+  radius : float;  (** contact range, in unit-square units *)
+  speed : float;  (** distance travelled per time unit *)
+  pause : int;  (** time units to pause on reaching a waypoint *)
+}
+
+val default_waypoint : waypoint_params
+(** radius 0.2, speed 0.02, pause 3. *)
+
+val random_waypoint :
+  ?params:waypoint_params -> Doda_prng.Prng.t -> n:int -> int -> Interaction.t
+(** [random_waypoint rng ~n] simulates [n] nodes doing random-waypoint
+    motion in the unit square; each call advances the simulation until
+    at least one pair is within contact range, then returns a uniformly
+    random such pair. @raise Invalid_argument if [n < 2]. *)
+
+val community :
+  Doda_prng.Prng.t ->
+  n:int -> communities:int -> p_intra:float -> int -> Interaction.t
+(** [community rng ~n ~communities ~p_intra] partitions nodes into
+    [communities] groups round-robin; with probability [p_intra] the
+    interaction is drawn inside a uniformly random group with at least
+    two members, otherwise between two distinct groups. Models social /
+    vehicular clustering. @raise Invalid_argument if [n < 2],
+    [communities < 1], or [p_intra] outside [0, 1]. *)
+
+val grid_walkers :
+  Doda_prng.Prng.t -> n:int -> rows:int -> cols:int -> int -> Interaction.t
+(** [grid_walkers rng ~n ~rows ~cols] moves [n] walkers on a grid of
+    cells (a Manhattan street plan); each step every walker moves to a
+    uniformly random cell among its own and its neighbours (a {e lazy}
+    walk — walkers that always move would preserve the parity of
+    [r + c] and the contact graph would split in two), and a uniformly
+    random pair of co-located walkers interacts (steps repeat until
+    such a pair exists).
+    @raise Invalid_argument if [n < 2] or the grid is empty. *)

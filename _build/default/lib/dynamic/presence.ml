@@ -1,0 +1,74 @@
+module Static_graph = Doda_graph.Static_graph
+module Prng = Doda_prng.Prng
+
+type t = {
+  node_count : int;
+  intervals : (int * int, (int * int) list ref) Hashtbl.t;
+      (* edge -> intervals, unordered, possibly overlapping *)
+  mutable horizon : int;
+}
+
+let create ~n =
+  if n < 2 then invalid_arg "Presence.create: need at least two nodes";
+  { node_count = n; intervals = Hashtbl.create 97; horizon = 0 }
+
+let n t = t.node_count
+let span t = t.horizon
+
+let key u v = if u < v then (u, v) else (v, u)
+
+let add_interval t ~u ~v ~start ~stop =
+  if u = v then invalid_arg "Presence.add_interval: self-loop";
+  if u < 0 || v < 0 || u >= t.node_count || v >= t.node_count then
+    invalid_arg "Presence.add_interval: node out of range";
+  if start < 0 || stop <= start then
+    invalid_arg "Presence.add_interval: need 0 <= start < stop";
+  let k = key u v in
+  (match Hashtbl.find_opt t.intervals k with
+  | Some l -> l := (start, stop) :: !l
+  | None -> Hashtbl.add t.intervals k (ref [ (start, stop) ]));
+  t.horizon <- Stdlib.max t.horizon stop
+
+let present t ~u ~v ~time =
+  match Hashtbl.find_opt t.intervals (key u v) with
+  | None -> false
+  | Some l -> List.exists (fun (a, b) -> a <= time && time < b) !l
+
+let snapshot t time =
+  let g = Static_graph.create t.node_count in
+  Hashtbl.iter
+    (fun (u, v) l ->
+      if List.exists (fun (a, b) -> a <= time && time < b) !l then
+        Static_graph.add_edge g u v)
+    t.intervals;
+  g
+
+let to_evolving ?horizon t =
+  let horizon = match horizon with Some h -> h | None -> span t in
+  Evolving_graph.make ~n:t.node_count
+    (List.init horizon (fun time -> snapshot t time))
+
+let to_interactions ?horizon t =
+  Evolving_graph.to_interactions (to_evolving ?horizon t)
+
+let random rng ~n ~horizon ~mean_up ~mean_down =
+  if mean_up <= 0.0 || mean_down <= 0.0 then
+    invalid_arg "Presence.random: means must be positive";
+  if horizon <= 0 then invalid_arg "Presence.random: horizon must be positive";
+  let t = create ~n in
+  let phase mean = 1 + Prng.geometric rng (1.0 /. (mean +. 1.0)) in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      (* Alternate down/up phases from time 0 with a random initial
+         offset so edges are not synchronised. *)
+      let clock = ref (Prng.int rng (1 + int_of_float mean_down)) in
+      while !clock < horizon do
+        let up = phase mean_up in
+        let start = !clock in
+        let stop = Stdlib.min horizon (start + up) in
+        if stop > start then add_interval t ~u ~v ~start ~stop;
+        clock := stop + phase mean_down
+      done
+    done
+  done;
+  t

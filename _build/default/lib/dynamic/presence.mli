@@ -1,0 +1,44 @@
+(** Interval-based time-varying graphs: every edge carries a set of
+    presence intervals — the continuous-flavoured TVG model the paper
+    cites (Casteigts et al.) — with conversions into the paper's
+    one-interaction-per-step sequences via snapshot flattening.
+
+    Times are discrete; an interval [\[start, stop)] makes the edge
+    present at times [start .. stop - 1]. *)
+
+type t
+
+val create : n:int -> t
+(** Empty presence structure on [n] nodes.
+    @raise Invalid_argument if [n < 2]. *)
+
+val add_interval : t -> u:int -> v:int -> start:int -> stop:int -> unit
+(** Declare edge [{u, v}] present on [\[start, stop)]. Overlapping
+    intervals are allowed (their union is what counts).
+    @raise Invalid_argument on bad endpoints, [u = v], negative
+    [start], or [stop <= start]. *)
+
+val n : t -> int
+
+val span : t -> int
+(** One past the last time any edge is present (0 when empty). *)
+
+val present : t -> u:int -> v:int -> time:int -> bool
+
+val snapshot : t -> int -> Doda_graph.Static_graph.t
+(** The static graph of edges present at the given time. *)
+
+val to_evolving : ?horizon:int -> t -> Evolving_graph.t
+(** Snapshots at times [0 .. horizon - 1] (default {!span}). *)
+
+val to_interactions : ?horizon:int -> t -> Sequence.t
+(** Flattened snapshots, lexicographic within each time — the paper's
+    reduction applied to a TVG. *)
+
+val random :
+  Doda_prng.Prng.t ->
+  n:int -> horizon:int -> mean_up:float -> mean_down:float -> t
+(** [random rng ~n ~horizon ~mean_up ~mean_down] gives every pair
+    alternating down/up phases with geometric lengths of the given
+    means, truncated to [horizon] — a standard synthetic TVG workload.
+    @raise Invalid_argument on non-positive parameters. *)

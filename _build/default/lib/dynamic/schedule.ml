@@ -1,0 +1,129 @@
+type source = Finite of Sequence.t | Generator of (int -> Interaction.t)
+
+type t = {
+  node_count : int;
+  sink_id : int;
+  source : source;
+  buf : Interaction.t Vec.t;  (* materialised prefix (generators only) *)
+  meets : int Vec.t array;  (* per node, times of its sink interactions *)
+  mutable indexed : int;  (* interactions whose sink meetings are indexed *)
+}
+
+let check_interaction t i =
+  if Interaction.v i >= t.node_count then
+    invalid_arg "Schedule: interaction mentions a node id >= n"
+
+let make ~n ~sink source =
+  if n < 2 then invalid_arg "Schedule: need at least two nodes";
+  if sink < 0 || sink >= n then invalid_arg "Schedule: sink out of range";
+  {
+    node_count = n;
+    sink_id = sink;
+    source;
+    buf = Vec.create ~dummy:Interaction.dummy;
+    meets = Array.init n (fun _ -> Vec.create ~dummy:0);
+    indexed = 0;
+  }
+
+let of_sequence ~n ~sink seq =
+  let t = make ~n ~sink (Finite seq) in
+  Sequence.iteri (fun _ i -> check_interaction t i) seq;
+  t
+
+let of_fun ~n ~sink gen = make ~n ~sink (Generator gen)
+
+let n t = t.node_count
+let sink t = t.sink_id
+
+let length t =
+  match t.source with Finite s -> Some (Sequence.length s) | Generator _ -> None
+
+let materialized t =
+  match t.source with Finite s -> Sequence.length s | Generator _ -> Vec.length t.buf
+
+(* Record sink meetings for all interactions up to index [upto]
+   (exclusive) that have been materialised but not yet indexed. *)
+let index_upto t upto raw_get =
+  let stop = Stdlib.min upto (materialized t) in
+  while t.indexed < stop do
+    let i = raw_get t.indexed in
+    if Interaction.involves i t.sink_id then begin
+      let node = Interaction.other i t.sink_id in
+      Vec.push t.meets.(node) t.indexed
+    end;
+    t.indexed <- t.indexed + 1
+  done
+
+let raw_get t idx =
+  match t.source with
+  | Finite s -> Sequence.get s idx
+  | Generator _ -> Vec.get t.buf idx
+
+let ensure t upto =
+  (* Materialise interactions with index < upto where possible. *)
+  (match t.source with
+  | Finite _ -> ()
+  | Generator gen ->
+      while Vec.length t.buf < upto do
+        let idx = Vec.length t.buf in
+        let i = gen idx in
+        check_interaction t i;
+        Vec.push t.buf i
+      done);
+  index_upto t upto (raw_get t)
+
+let get t time =
+  if time < 0 then invalid_arg "Schedule.get: negative time";
+  match t.source with
+  | Finite s -> if time < Sequence.length s then Some (Sequence.get s time) else None
+  | Generator _ ->
+      ensure t (time + 1);
+      Some (Vec.get t.buf time)
+
+let get_exn t time =
+  match get t time with
+  | Some i -> i
+  | None -> invalid_arg "Schedule.get_exn: past the end of a finite schedule"
+
+let prefix t k =
+  if k < 0 then invalid_arg "Schedule.prefix: negative length";
+  (match length t with
+  | Some len when len < k -> invalid_arg "Schedule.prefix: schedule too short"
+  | _ -> ());
+  ensure t k;
+  Sequence.of_array (Array.init k (fun idx -> raw_get t idx))
+
+(* First index in the sorted vector [v] whose value exceeds [x], or
+   [Vec.length v] if none. *)
+let first_above v x =
+  let lo = ref 0 and hi = ref (Vec.length v) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Vec.get v mid <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let next_meet_with_sink t ~node ~after ~limit =
+  if node < 0 || node >= t.node_count then
+    invalid_arg "Schedule.next_meet_with_sink: node out of range";
+  if node = t.sink_id then begin
+    let candidate = after + 1 in
+    if candidate <= limit then Some candidate else None
+  end
+  else begin
+    ensure t (limit + 1);
+    let v = t.meets.(node) in
+    let pos = first_above v after in
+    if pos < Vec.length v && Vec.get v pos <= limit then Some (Vec.get v pos)
+    else None
+  end
+
+let meets_with_sink_upto t k =
+  ensure t k;
+  let counts = Array.make t.node_count 0 in
+  for node = 0 to t.node_count - 1 do
+    if node <> t.sink_id then
+      counts.(node) <- first_above t.meets.(node) (k - 1)
+  done;
+  counts.(t.sink_id) <- Array.fold_left ( + ) 0 counts;
+  counts

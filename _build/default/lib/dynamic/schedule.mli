@@ -1,0 +1,61 @@
+(** Possibly-unbounded interaction schedules.
+
+    A schedule is where an execution's interactions come from: either a
+    fixed finite {!Sequence.t}, or a generator function materialised
+    lazily (the randomized adversary draws interactions on demand, yet
+    algorithms like Waiting Greedy need an oracle over the {e future}
+    of the very same draw — lazy materialisation keeps both consistent).
+
+    Every schedule maintains an index of interactions involving the
+    sink, so that the [meetTime] knowledge of Section 4.3 — the first
+    time after [t] at which a node interacts with the sink — is a
+    binary search instead of a scan. *)
+
+type t
+
+val of_sequence : n:int -> sink:int -> Sequence.t -> t
+(** A finite schedule. Node ids in the sequence must be below [n].
+    @raise Invalid_argument on a bad [sink] or out-of-range ids
+    (checked lazily on access for generators, eagerly here). *)
+
+val of_fun : n:int -> sink:int -> (int -> Interaction.t) -> t
+(** [of_fun ~n ~sink gen] materialises [gen t] on first access to time
+    [t]; [gen] is called exactly once per index, in increasing order. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val sink : t -> int
+
+val length : t -> int option
+(** [Some len] for finite schedules, [None] for generators. *)
+
+val get : t -> int -> Interaction.t option
+(** [get s t] is [Some I_t], materialising as needed; [None] iff the
+    schedule is finite and [t] is past its end. *)
+
+val get_exn : t -> int -> Interaction.t
+(** @raise Invalid_argument past the end of a finite schedule. *)
+
+val materialized : t -> int
+(** Number of interactions materialised so far. *)
+
+val prefix : t -> int -> Sequence.t
+(** [prefix s k] is [I_0 .. I_{k-1}] as a finite sequence,
+    materialising as needed. @raise Invalid_argument if a finite
+    schedule is shorter than [k]. *)
+
+val next_meet_with_sink : t -> node:int -> after:int -> limit:int -> int option
+(** [next_meet_with_sink s ~node ~after ~limit] is the smallest time
+    [t' > after] with [I_{t'} = {node, sink}] and [t' <= limit], if
+    any; materialises at most up to [limit]. This is the paper's
+    [u.meetTime(t)] capped at [limit] — Waiting Greedy only ever
+    compares meet times against its parameter [tau], so a cap keeps
+    laziness without changing decisions. For [node = sink] the paper
+    defines meetTime as the identity, so [Some (after + 1)] is
+    returned (clipped to [limit]). *)
+
+val meets_with_sink_upto : t -> int -> int array
+(** [meets_with_sink_upto s k] counts, per node, the interactions with
+    the sink among [I_0 .. I_{k-1}] (index [sink] counts all of them).
+    Used by the Lemma 1 experiment. *)

@@ -1,0 +1,119 @@
+let check_src ~n src =
+  if src < 0 || src >= n then invalid_arg "Temporal: source out of range"
+
+let earliest_arrival ~n ~src ?(start = 0) s =
+  check_src ~n src;
+  let arrival = Array.make n None in
+  arrival.(src) <- Some (start - 1);
+  let informed = Array.make n false in
+  informed.(src) <- true;
+  let len = Sequence.length s in
+  for t = start to len - 1 do
+    let i = Sequence.get s t in
+    let a = Interaction.u i and b = Interaction.v i in
+    if informed.(a) && not informed.(b) then begin
+      informed.(b) <- true;
+      arrival.(b) <- Some t
+    end
+    else if informed.(b) && not informed.(a) then begin
+      informed.(a) <- true;
+      arrival.(a) <- Some t
+    end
+  done;
+  arrival
+
+let broadcast_completion ~n ~src ?(start = 0) s =
+  check_src ~n src;
+  let informed = Array.make n false in
+  informed.(src) <- true;
+  let count = ref 1 in
+  let len = Sequence.length s in
+  let result = ref None in
+  let t = ref start in
+  while !result = None && !t < len do
+    let i = Sequence.get s !t in
+    let a = Interaction.u i and b = Interaction.v i in
+    let newly =
+      if informed.(a) && not informed.(b) then (informed.(b) <- true; true)
+      else if informed.(b) && not informed.(a) then (informed.(a) <- true; true)
+      else false
+    in
+    if newly then begin
+      incr count;
+      if !count = n then result := Some !t
+    end;
+    incr t
+  done;
+  !result
+
+let reverse_flood_all_informed ~n ~src s ~lo ~hi =
+  check_src ~n src;
+  if lo < 0 || hi >= Sequence.length s then
+    invalid_arg "Temporal.reverse_flood_all_informed: window out of bounds";
+  let informed = Array.make n false in
+  informed.(src) <- true;
+  let count = ref 1 in
+  let t = ref hi in
+  while !count < n && !t >= lo do
+    let i = Sequence.get s !t in
+    let a = Interaction.u i and b = Interaction.v i in
+    if informed.(a) && not informed.(b) then begin
+      informed.(b) <- true;
+      incr count
+    end
+    else if informed.(b) && not informed.(a) then begin
+      informed.(a) <- true;
+      incr count
+    end;
+    decr t
+  done;
+  !count = n
+
+let temporally_connected ~n s =
+  let ok = ref true in
+  let src = ref 0 in
+  while !ok && !src < n do
+    if broadcast_completion ~n ~src:!src s = None then ok := false;
+    incr src
+  done;
+  !ok
+
+let foremost_journey ~n ~src ~dst ?(start = 0) s =
+  check_src ~n src;
+  check_src ~n dst;
+  if src = dst then Some []
+  else begin
+    let arrival = earliest_arrival ~n ~src ~start s in
+    match arrival.(dst) with
+    | None -> None
+    | Some _ ->
+        (* Walk predecessors: the hop informing [v] at time [t] came
+           from the other endpoint of [I_t]. *)
+        let rec backtrack v acc =
+          if v = src then acc
+          else
+            match arrival.(v) with
+            | None | Some (-1) -> assert false
+            | Some t ->
+                let i = Sequence.get s t in
+                backtrack (Interaction.other i v) ((t, i) :: acc)
+        in
+        Some (backtrack dst [])
+  end
+
+let reachable_set ~n ~src ?(start = 0) ?horizon s =
+  check_src ~n src;
+  let stop = match horizon with None -> Sequence.length s | Some h -> Stdlib.min h (Sequence.length s) in
+  let informed = Array.make n false in
+  informed.(src) <- true;
+  for t = start to stop - 1 do
+    let i = Sequence.get s t in
+    let a = Interaction.u i and b = Interaction.v i in
+    if informed.(a) && not informed.(b) then informed.(b) <- true
+    else if informed.(b) && not informed.(a) then informed.(a) <- true
+  done;
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    if informed.(v) then acc := v :: !acc
+  done;
+  !acc

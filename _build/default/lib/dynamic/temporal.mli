@@ -1,0 +1,44 @@
+(** Temporal reachability over interaction sequences.
+
+    Flooding (greedy dissemination) is optimal for broadcast in this
+    model: informed nodes never lose information, so informing at every
+    opportunity dominates any other schedule. The paper's Theorem 8
+    exploits the dual fact that a convergecast on [I_t .. I_T] exists
+    iff flooding from the sink succeeds on the reversed subsequence;
+    {!reverse_flood_all_informed} is that predicate, and the optimal
+    offline algorithm in [lib/core] is built on it. *)
+
+val earliest_arrival :
+  n:int -> src:int -> ?start:int -> Sequence.t -> int option array
+(** [earliest_arrival ~n ~src s] floods forward from [src], starting at
+    index [start] (default 0). Entry [v] is [Some t] where [t] is the
+    index of the interaction that informed [v] ([Some (start - 1)] for
+    [src] itself), or [None] if [v] is never informed. *)
+
+val broadcast_completion : n:int -> src:int -> ?start:int -> Sequence.t -> int option
+(** [broadcast_completion ~n ~src s] is the smallest index [t] such
+    that flooding from [src] over [I_start .. I_t] informs all [n]
+    nodes, or [None] if the sequence is too short. *)
+
+val reverse_flood_all_informed :
+  n:int -> src:int -> Sequence.t -> lo:int -> hi:int -> bool
+(** [reverse_flood_all_informed ~n ~src s ~lo ~hi] floods from [src]
+    processing [I_hi, I_{hi-1}, ..., I_lo] and reports whether all
+    nodes end up informed — equivalently (by the duality), whether a
+    complete convergecast to [src] fits within [I_lo .. I_hi]. *)
+
+val temporally_connected : n:int -> Sequence.t -> bool
+(** True iff broadcast from every node completes within the sequence. *)
+
+val foremost_journey :
+  n:int -> src:int -> dst:int -> ?start:int -> Sequence.t ->
+  (int * Interaction.t) list option
+(** [foremost_journey ~n ~src ~dst s] is a journey (time-respecting
+    path) from [src] to [dst] arriving as early as possible, as a list
+    of [(time, interaction)] hops in increasing time order; [Some []]
+    when [src = dst]. *)
+
+val reachable_set : n:int -> src:int -> ?start:int -> ?horizon:int -> Sequence.t -> int list
+(** Nodes informed by flooding from [src] using interactions with
+    indices in [\[start, horizon)] (default: the whole sequence), in
+    increasing id order; includes [src]. *)

@@ -1,0 +1,50 @@
+let to_channel oc s =
+  Sequence.iteri
+    (fun t i ->
+      Printf.fprintf oc "%d %d %d\n" t (Interaction.u i) (Interaction.v i))
+    s
+
+let save path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc s)
+
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | [ t; u; v ] -> (
+        match (int_of_string_opt t, int_of_string_opt u, int_of_string_opt v) with
+        | Some t, Some u, Some v -> Some (t, u, v)
+        | _ -> failwith ("Trace: malformed line: " ^ line))
+    | _ -> failwith ("Trace: malformed line: " ^ line)
+
+let of_lines lines =
+  let interactions = ref [] in
+  let expected = ref 0 in
+  List.iteri
+    (fun lineno line ->
+      match parse_line line with
+      | None -> ()
+      | Some (t, u, v) ->
+          if t <> !expected then
+            failwith
+              (Printf.sprintf "Trace: line %d: expected time %d, got %d"
+                 (lineno + 1) !expected t);
+          incr expected;
+          interactions := Interaction.make u v :: !interactions)
+    lines;
+  Sequence.of_list (List.rev !interactions)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      of_lines (List.rev !lines))

@@ -1,0 +1,21 @@
+(** Contact-trace I/O: interaction sequences as plain text, one
+    interaction per line ([time u v], whitespace-separated, [#]
+    comments). Lets experiments replay externally collected contact
+    traces and archive generated ones. *)
+
+val save : string -> Sequence.t -> unit
+(** [save path s] writes [s]; times are the sequence indices. *)
+
+val load : string -> Sequence.t
+(** [load path] parses a trace. Lines must be sorted by time; times
+    must be exactly [0, 1, 2, ...] (the model has one interaction per
+    time unit). @raise Failure with a line-numbered message on
+    malformed input. *)
+
+val parse_line : string -> (int * int * int) option
+(** [parse_line l] is [Some (t, u, v)], or [None] for blank/comment
+    lines. @raise Failure on malformed content. *)
+
+val to_channel : out_channel -> Sequence.t -> unit
+val of_lines : string list -> Sequence.t
+(** @raise Failure like {!load}. *)

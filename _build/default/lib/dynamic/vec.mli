@@ -1,0 +1,30 @@
+(** Growable arrays (OCaml 5.1 predates [Dynarray]); used for lazily
+    materialised interaction schedules and their indexes. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+(** [create ~dummy] is an empty vector; [dummy] fills unused capacity
+    and is never observable. *)
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val push : 'a t -> 'a -> unit
+
+val last : 'a t -> 'a
+(** @raise Invalid_argument if empty. *)
+
+val to_array : 'a t -> 'a array
+
+val of_array : dummy:'a -> 'a array -> 'a t
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val clear : 'a t -> unit
+(** Resets length to zero (capacity retained). *)

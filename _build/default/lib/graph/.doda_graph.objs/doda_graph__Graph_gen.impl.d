@@ -1,0 +1,1 @@
+lib/graph/graph_gen.ml: Array Doda_prng Int Set Static_graph Stdlib

@@ -1,0 +1,1 @@
+lib/graph/spanning_tree.ml: Array List Static_graph Traversal Union_find

@@ -1,0 +1,1 @@
+lib/graph/static_graph.ml: Array Format Int List Set Stack

@@ -1,0 +1,1 @@
+lib/graph/static_graph.mli: Format

@@ -1,0 +1,79 @@
+module Prng = Doda_prng.Prng
+
+let erdos_renyi rng ~n ~p =
+  let g = Static_graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.bernoulli rng p then Static_graph.add_edge g u v
+    done
+  done;
+  g
+
+(* Decode a uniformly random Prüfer sequence into a labelled tree. *)
+let random_tree rng ~n =
+  if n <= 0 then invalid_arg "Graph_gen.random_tree: n must be positive";
+  let g = Static_graph.create n in
+  if n = 1 then g
+  else if n = 2 then begin
+    Static_graph.add_edge g 0 1;
+    g
+  end
+  else begin
+    let prufer = Array.init (n - 2) (fun _ -> Prng.int rng n) in
+    let degree = Array.make n 1 in
+    Array.iter (fun x -> degree.(x) <- degree.(x) + 1) prufer;
+    let module Iset = Set.Make (Int) in
+    let leaves = ref Iset.empty in
+    for u = 0 to n - 1 do
+      if degree.(u) = 1 then leaves := Iset.add u !leaves
+    done;
+    Array.iter
+      (fun v ->
+        let leaf = Iset.min_elt !leaves in
+        leaves := Iset.remove leaf !leaves;
+        Static_graph.add_edge g leaf v;
+        degree.(v) <- degree.(v) - 1;
+        if degree.(v) = 1 then leaves := Iset.add v !leaves)
+      prufer;
+    let u = Iset.min_elt !leaves in
+    let v = Iset.max_elt !leaves in
+    Static_graph.add_edge g u v;
+    g
+  end
+
+let random_connected rng ~n ~extra_edges =
+  let g = random_tree rng ~n in
+  let max_edges = n * (n - 1) / 2 in
+  let budget = Stdlib.min extra_edges (max_edges - Static_graph.edge_count g) in
+  let added = ref 0 in
+  while !added < budget do
+    let u, v = Prng.pair rng n in
+    if not (Static_graph.has_edge g u v) then begin
+      Static_graph.add_edge g u v;
+      incr added
+    end
+  done;
+  g
+
+let gnm rng ~n ~m =
+  let max_edges = n * (n - 1) / 2 in
+  if m > max_edges then invalid_arg "Graph_gen.gnm: too many edges requested";
+  let g = Static_graph.create n in
+  while Static_graph.edge_count g < m do
+    let u, v = Prng.pair rng n in
+    Static_graph.add_edge g u v
+  done;
+  g
+
+let random_geometric rng ~n ~radius =
+  let positions = Array.init n (fun _ -> (Prng.float rng 1.0, Prng.float rng 1.0)) in
+  let g = Static_graph.create n in
+  let r2 = radius *. radius in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let xu, yu = positions.(u) and xv, yv = positions.(v) in
+      let dx = xu -. xv and dy = yu -. yv in
+      if (dx *. dx) +. (dy *. dy) <= r2 then Static_graph.add_edge g u v
+    done
+  done;
+  (g, positions)

@@ -1,0 +1,61 @@
+type t = {
+  tree_root : int;
+  parents : int array;
+  child_lists : int list array;
+  depths : int array;
+}
+
+let bfs_tree g ~root =
+  let parents = Traversal.bfs_parents g root in
+  if Array.exists (fun p -> p < 0) parents then
+    invalid_arg "Spanning_tree.bfs_tree: disconnected graph";
+  let size = Array.length parents in
+  let child_lists = Array.make size [] in
+  for u = size - 1 downto 0 do
+    if u <> root then child_lists.(parents.(u)) <- u :: child_lists.(parents.(u))
+  done;
+  let depths = Traversal.bfs_distances g root in
+  { tree_root = root; parents; child_lists; depths }
+
+let kruskal_tree g ~root =
+  let uf = Union_find.create (Static_graph.n g) in
+  let kept =
+    List.filter (fun (u, v) -> Union_find.union uf u v) (Static_graph.edges g)
+  in
+  if Union_find.count uf <> 1 then
+    invalid_arg "Spanning_tree.kruskal_tree: disconnected graph";
+  bfs_tree (Static_graph.of_edges (Static_graph.n g) kept) ~root
+
+let root t = t.tree_root
+let parent t u = t.parents.(u)
+let children t u = t.child_lists.(u)
+let depth t u = t.depths.(u)
+let size t = Array.length t.parents
+
+let rec subtree_size t u =
+  List.fold_left (fun acc c -> acc + subtree_size t c) 1 t.child_lists.(u)
+
+let is_tree_edge t u v = (u <> v) && (t.parents.(u) = v || t.parents.(v) = u)
+
+let edges t =
+  let acc = ref [] in
+  for u = size t - 1 downto 0 do
+    if u <> t.tree_root then acc := (t.parents.(u), u) :: !acc
+  done;
+  !acc
+
+let to_graph t =
+  Static_graph.of_edges (size t) (List.map (fun (p, c) -> (p, c)) (edges t))
+
+let leaves t =
+  let acc = ref [] in
+  for u = size t - 1 downto 0 do
+    if t.child_lists.(u) = [] then acc := u :: !acc
+  done;
+  !acc
+
+let post_order t =
+  let rec visit u acc =
+    u :: List.fold_left (fun acc c -> visit c acc) acc (List.rev t.child_lists.(u))
+  in
+  List.rev (visit t.tree_root [])

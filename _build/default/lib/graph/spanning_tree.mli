@@ -1,0 +1,57 @@
+(** Rooted spanning trees.
+
+    The algorithm of Theorems 4 and 5 has every node locally compute
+    the {e same} spanning tree of the underlying graph from shared
+    knowledge; determinism of the construction is therefore part of the
+    contract. *)
+
+type t
+(** A rooted spanning tree of a graph, with parent/children access. *)
+
+val bfs_tree : Static_graph.t -> root:int -> t
+(** [bfs_tree g ~root] is the deterministic BFS spanning tree rooted at
+    [root] (ties broken by increasing node id).
+    @raise Invalid_argument if [g] is disconnected. *)
+
+val kruskal_tree : Static_graph.t -> root:int -> t
+(** [kruskal_tree g ~root] is the deterministic spanning tree made of
+    the lexicographically smallest acyclic edge set (Kruskal over unit
+    weights, edges scanned in sorted order), rooted at [root]. A
+    different — typically deeper — deterministic choice than
+    {!bfs_tree}, used to measure how tree choice affects the
+    Theorem 4/5 algorithm. @raise Invalid_argument if [g] is
+    disconnected. *)
+
+val root : t -> int
+
+val parent : t -> int -> int
+(** [parent t u] is [u]'s parent; [parent t (root t) = root t]. *)
+
+val children : t -> int -> int list
+(** Children in increasing id order. *)
+
+val depth : t -> int -> int
+(** Hop distance to the root. *)
+
+val subtree_size : t -> int -> int
+(** Number of nodes in the subtree rooted at [u], including [u]. *)
+
+val size : t -> int
+(** Total number of nodes. *)
+
+val is_tree_edge : t -> int -> int -> bool
+(** [is_tree_edge t u v] holds iff one of [u], [v] is the parent of the
+    other. *)
+
+val edges : t -> (int * int) list
+(** Tree edges as (parent, child) pairs, sorted by child id. *)
+
+val to_graph : t -> Static_graph.t
+(** Forget the rooting. *)
+
+val leaves : t -> int list
+(** Nodes with no children, in increasing id order. *)
+
+val post_order : t -> int list
+(** A post-order listing (children before parents); within a node,
+    children are visited in increasing id order. *)

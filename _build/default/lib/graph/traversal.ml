@@ -1,0 +1,72 @@
+let bfs g src =
+  let size = Static_graph.n g in
+  let dist = Array.make size (-1) in
+  let parent = Array.make size (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  parent.(src) <- src;
+  Queue.push src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          parent.(v) <- u;
+          Queue.push v queue
+        end)
+      (Static_graph.neighbors g u)
+  done;
+  (dist, parent)
+
+let bfs_distances g src = fst (bfs g src)
+let bfs_parents g src = snd (bfs g src)
+
+let connected g =
+  Static_graph.n g = 0
+  || Array.for_all (fun d -> d >= 0) (bfs_distances g 0)
+
+let components g =
+  let size = Static_graph.n g in
+  let label = Array.make size (-1) in
+  let next = ref 0 in
+  for u = 0 to size - 1 do
+    if label.(u) < 0 then begin
+      let id = !next in
+      incr next;
+      let queue = Queue.create () in
+      label.(u) <- id;
+      Queue.push u queue;
+      while not (Queue.is_empty queue) do
+        let w = Queue.pop queue in
+        List.iter
+          (fun v ->
+            if label.(v) < 0 then begin
+              label.(v) <- id;
+              Queue.push v queue
+            end)
+          (Static_graph.neighbors g w)
+      done
+    end
+  done;
+  label
+
+let component_count g =
+  let labels = components g in
+  Array.fold_left Stdlib.max (-1) labels + 1
+
+let eccentricity g u =
+  let dist = bfs_distances g u in
+  Array.fold_left
+    (fun acc d ->
+      if d < 0 then invalid_arg "Traversal.eccentricity: disconnected graph"
+      else Stdlib.max acc d)
+    0 dist
+
+let diameter g =
+  if Static_graph.n g = 0 then invalid_arg "Traversal.diameter: empty graph";
+  let best = ref 0 in
+  for u = 0 to Static_graph.n g - 1 do
+    best := Stdlib.max !best (eccentricity g u)
+  done;
+  !best

@@ -1,0 +1,30 @@
+(** Graph traversals: BFS distances, connected components, and
+    reachability. *)
+
+val bfs_distances : Static_graph.t -> int -> int array
+(** [bfs_distances g src] is the array of hop distances from [src];
+    unreachable nodes get [-1]. *)
+
+val bfs_parents : Static_graph.t -> int -> int array
+(** [bfs_parents g src] is a BFS parent array rooted at [src]:
+    [parent.(src) = src], unreachable nodes get [-1]. Siblings are
+    visited in increasing id order, so the result is deterministic —
+    this matters for Theorem 4/5, where all nodes must compute the
+    {e same} spanning tree locally. *)
+
+val connected : Static_graph.t -> bool
+(** True iff every node is reachable from node [0] (vacuously true for
+    the empty graph). *)
+
+val components : Static_graph.t -> int array
+(** [components g] labels each node with a component id in
+    [0 .. k-1]; nodes share a label iff connected. *)
+
+val component_count : Static_graph.t -> int
+
+val eccentricity : Static_graph.t -> int -> int
+(** Largest finite BFS distance from the node.
+    @raise Invalid_argument if some node is unreachable. *)
+
+val diameter : Static_graph.t -> int
+(** Largest eccentricity. @raise Invalid_argument if disconnected. *)

@@ -1,0 +1,18 @@
+(** Disjoint-set forest with path compression and union by rank. *)
+
+type t
+
+val create : int -> t
+(** [create n] puts each of [0 .. n-1] in its own set. *)
+
+val find : t -> int -> int
+(** Canonical representative; compresses paths. *)
+
+val union : t -> int -> int -> bool
+(** [union t a b] merges the sets of [a] and [b]; returns [false] when
+    they were already together. *)
+
+val connected : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of disjoint sets. *)

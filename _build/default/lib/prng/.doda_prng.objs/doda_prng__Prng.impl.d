@@ -1,0 +1,1 @@
+lib/prng/prng.ml: Array Float Int64 Queue Splitmix64 Xoshiro256ss

@@ -1,0 +1,1 @@
+lib/prng/xoshiro256ss.ml: Array Int64 Splitmix64

@@ -1,0 +1,1 @@
+lib/sim/analysis.ml: Array Doda_core Fun List Stdlib

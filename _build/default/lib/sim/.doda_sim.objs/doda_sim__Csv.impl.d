@@ -1,0 +1,1 @@
+lib/sim/csv.ml: Buffer Fun List String

@@ -1,0 +1,1 @@
+lib/sim/experiment.ml: Array Doda_adversary Doda_core Doda_prng Doda_stats List

@@ -1,0 +1,1 @@
+lib/sim/experiment.mli: Doda_core Doda_dynamic Doda_prng Doda_stats

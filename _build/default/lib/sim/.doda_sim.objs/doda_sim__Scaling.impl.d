@@ -1,0 +1,1 @@
+lib/sim/scaling.ml: Array Doda_stats Experiment List

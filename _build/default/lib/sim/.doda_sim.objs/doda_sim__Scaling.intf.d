@@ -1,0 +1,1 @@
+lib/sim/scaling.mli: Doda_stats Experiment

@@ -1,0 +1,1 @@
+lib/sim/timeline.ml: Array Buffer Bytes Doda_core List Printf Stdlib

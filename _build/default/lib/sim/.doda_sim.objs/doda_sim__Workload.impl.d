@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Array Doda_dynamic Doda_prng Printf Stdlib String

@@ -1,0 +1,47 @@
+module Engine = Doda_core.Engine
+
+let aggregation_parent ~n (r : Engine.result) =
+  let parent = Array.make n (-1) in
+  List.iter (fun tr -> parent.(tr.Engine.sender) <- tr.Engine.receiver) r.transmissions;
+  parent
+
+(* For each node, the time at which it transmitted (-1 if never). *)
+let fire_times ~n (r : Engine.result) =
+  let fire = Array.make n (-1) in
+  List.iter (fun tr -> fire.(tr.Engine.sender) <- tr.Engine.time) r.transmissions;
+  fire
+
+let datum_route ~n ~sink (r : Engine.result) v =
+  let parent = aggregation_parent ~n r in
+  let fire = fire_times ~n r in
+  let rec walk carrier acc =
+    if carrier = sink || parent.(carrier) < 0 then List.rev acc
+    else
+      let next = parent.(carrier) in
+      walk next ((fire.(carrier), next) :: acc)
+  in
+  if v = sink then [] else walk v []
+
+let delivery_times ~n ~sink r =
+  Array.init n (fun v ->
+      if v = sink then None
+      else
+        match List.rev (datum_route ~n ~sink r v) with
+        | (t, carrier) :: _ when carrier = sink -> Some t
+        | _ -> None)
+
+let hop_counts ~n ~sink r =
+  Array.init n (fun v -> List.length (datum_route ~n ~sink r v))
+
+let mean_delivery_time ~n ~sink r =
+  let times =
+    Array.to_list (delivery_times ~n ~sink r) |> List.filter_map Fun.id
+  in
+  match times with
+  | [] -> None
+  | _ ->
+      let total = List.fold_left ( + ) 0 times in
+      Some (float_of_int total /. float_of_int (List.length times))
+
+let max_hops ~n ~sink r =
+  Array.fold_left Stdlib.max 0 (hop_counts ~n ~sink r)

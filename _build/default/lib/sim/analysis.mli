@@ -1,0 +1,34 @@
+(** Structural analysis of a finished execution.
+
+    The transmission log of a run induces an {e aggregation forest}:
+    node [v]'s datum moves to [fire_to(v)] when [v] transmits, so
+    following transmissions forward traces the route of each original
+    datum. These functions compute per-datum routes, delivery times and
+    hop counts — the latency metrics a deployment would care about
+    beyond the paper's single "termination time" figure. *)
+
+val aggregation_parent : n:int -> Doda_core.Engine.result -> int array
+(** Entry [v] is the receiver of [v]'s transmission, or [-1] if [v]
+    never transmitted (the sink never does). *)
+
+val datum_route : n:int -> sink:int -> Doda_core.Engine.result -> int -> (int * int) list
+(** [datum_route ~n ~sink r v] is the list of [(time, carrier)] hops
+    of [v]'s original datum: each transmission that moved it, ending at
+    the sink if it arrived. Empty for the sink's own datum and for data
+    that never moved. *)
+
+val delivery_times : n:int -> sink:int -> Doda_core.Engine.result -> int option array
+(** Entry [v] is the time at which [v]'s original datum reached the
+    sink, or [None] if it did not (including [v = sink], whose datum is
+    there from the start but has no arrival event). *)
+
+val hop_counts : n:int -> sink:int -> Doda_core.Engine.result -> int array
+(** Number of transmissions each original datum participated in
+    (0 for the sink's and for stranded data that never moved). *)
+
+val mean_delivery_time : n:int -> sink:int -> Doda_core.Engine.result -> float option
+(** Mean of the delivered data's arrival times; [None] when nothing
+    was delivered. *)
+
+val max_hops : n:int -> sink:int -> Doda_core.Engine.result -> int
+(** Deepest aggregation chain. *)

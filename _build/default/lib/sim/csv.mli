@@ -1,0 +1,11 @@
+(** Minimal CSV output for archiving experiment data. Fields containing
+    commas, quotes or newlines are quoted per RFC 4180. *)
+
+val escape : string -> string
+
+val row_to_string : string list -> string
+
+val write : string -> header:string list -> string list list -> unit
+(** [write path ~header rows] writes a CSV file. *)
+
+val append_row : out_channel -> string list -> unit

@@ -1,0 +1,52 @@
+module Prng = Doda_prng.Prng
+module Engine = Doda_core.Engine
+
+type measurement = {
+  label : string;
+  n : int;
+  samples : float array;
+  failures : int;
+}
+
+let replicate ~replications ~seed f =
+  let master = Prng.create seed in
+  Array.init replications (fun _ -> f (Prng.split master))
+
+let of_results ~label ~n results =
+  let samples = ref [] in
+  let failures = ref 0 in
+  Array.iter
+    (fun (r : Engine.result) ->
+      match r.duration with
+      | Some d -> samples := float_of_int (d + 1) :: !samples
+      | None -> incr failures)
+    results;
+  { label; n; samples = Array.of_list (List.rev !samples); failures = !failures }
+
+let run_schedule_factory ?(replications = 20) ?(seed = 42) ~max_steps ~label ~n
+    factory algo =
+  let results =
+    replicate ~replications ~seed (fun rng ->
+        Engine.run ~max_steps algo (factory rng))
+  in
+  of_results ~label ~n results
+
+let run_uniform ?replications ?seed ?(sink = 0) ?max_steps ~n
+    (algo : Doda_core.Algorithm.t) =
+  let max_steps =
+    match max_steps with Some m -> m | None -> (200 * n * n) + 10_000
+  in
+  run_schedule_factory ?replications ?seed ~max_steps ~label:algo.name ~n
+    (fun rng -> Doda_adversary.Randomized.uniform_schedule rng ~n ~sink)
+    algo
+
+let mean m =
+  if Array.length m.samples = 0 then
+    invalid_arg ("Experiment.mean: no successful runs for " ^ m.label);
+  Doda_stats.Descriptive.mean m.samples
+
+let summary m = Doda_stats.Descriptive.summarize m.samples
+
+let success_rate m =
+  let total = Array.length m.samples + m.failures in
+  if total = 0 then 0.0 else float_of_int (Array.length m.samples) /. float_of_int total

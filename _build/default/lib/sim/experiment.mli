@@ -1,0 +1,42 @@
+(** Replicated measurements of algorithm runs.
+
+    A measurement runs an algorithm several times against independently
+    seeded schedules and collects the number of interactions to
+    termination. The unit reported is "interactions processed until the
+    final transmission, inclusive" — [duration + 1] — matching the
+    paper's "terminates in [X] interactions". *)
+
+type measurement = {
+  label : string;
+  n : int;  (** number of nodes *)
+  samples : float array;  (** interactions to completion, terminated runs *)
+  failures : int;  (** runs that did not terminate within their budget *)
+}
+
+val replicate : replications:int -> seed:int -> (Doda_prng.Prng.t -> 'a) -> 'a array
+(** [replicate ~replications ~seed f] calls [f] once per replication
+    with independent split streams derived from [seed]. *)
+
+val of_results : label:string -> n:int -> Doda_core.Engine.result array -> measurement
+
+val run_uniform :
+  ?replications:int -> ?seed:int -> ?sink:int -> ?max_steps:int ->
+  n:int -> Doda_core.Algorithm.t -> measurement
+(** [run_uniform ~n algo] measures [algo] against the uniform
+    randomized adversary. Defaults: 20 replications, seed 42, sink 0,
+    [max_steps = 200 * n^2 + 10_000] (an order of magnitude above the
+    slowest expected algorithm, Waiting). *)
+
+val run_schedule_factory :
+  ?replications:int -> ?seed:int -> max_steps:int ->
+  label:string -> n:int ->
+  (Doda_prng.Prng.t -> Doda_dynamic.Schedule.t) ->
+  Doda_core.Algorithm.t -> measurement
+(** Generic form: a fresh schedule per replication. *)
+
+val mean : measurement -> float
+(** Mean of the samples. @raise Invalid_argument if every run failed. *)
+
+val summary : measurement -> Doda_stats.Descriptive.summary
+
+val success_rate : measurement -> float

@@ -1,0 +1,29 @@
+module Descriptive = Doda_stats.Descriptive
+module Regression = Doda_stats.Regression
+
+type point = { n : int; mean : float; std_error : float; success : float }
+
+let point_of (m : Experiment.measurement) =
+  {
+    n = m.n;
+    mean = Experiment.mean m;
+    std_error = Descriptive.std_error m.samples;
+    success = Experiment.success_rate m;
+  }
+
+let points_of ms = List.map point_of ms
+
+let exponent points =
+  let data =
+    Array.of_list (List.map (fun p -> (float_of_int p.n, p.mean)) points)
+  in
+  Regression.log_log data
+
+let ratios ~predicted points =
+  List.map (fun p -> (p.n, p.mean /. predicted p.n)) points
+
+let ratio_stability ~predicted points =
+  let data =
+    Array.of_list (List.map (fun p -> (predicted p.n, p.mean)) points)
+  in
+  Regression.ratio_stability data

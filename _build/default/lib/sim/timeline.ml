@@ -1,0 +1,40 @@
+module Engine = Doda_core.Engine
+
+let render ?(width = 64) ~n ~sink (result : Engine.result) =
+  let horizon = Stdlib.max 1 result.steps in
+  let bucket t = Stdlib.min (width - 1) (t * width / horizon) in
+  let rows = Array.init n (fun _ -> Bytes.make width '.') in
+  (* Blank out each sender's row after its transmission; mark the
+     receiving buckets. *)
+  List.iter
+    (fun tr ->
+      let b = bucket tr.Engine.time in
+      let sender_row = rows.(tr.Engine.sender) in
+      Bytes.set sender_row b '>';
+      for i = b + 1 to width - 1 do
+        Bytes.set sender_row i ' '
+      done;
+      let receiver_row = rows.(tr.Engine.receiver) in
+      if Bytes.get receiver_row b = '.' then
+        Bytes.set receiver_row b (if tr.Engine.receiver = sink then '#' else '+'))
+    result.transmissions;
+  let buf = Buffer.create (n * (width + 16)) in
+  Buffer.add_string buf
+    (Printf.sprintf "time 0 .. %d (one column ~ %d interactions)\n" horizon
+       (Stdlib.max 1 (horizon / width)));
+  Array.iteri
+    (fun v row ->
+      let tag = if v = sink then "sink" else Printf.sprintf "%4d" v in
+      Buffer.add_string buf (Printf.sprintf "%s |%s|\n" tag (Bytes.to_string row)))
+    rows;
+  Buffer.contents buf
+
+let transmissions_table (result : Engine.result) =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun tr ->
+      Buffer.add_string buf
+        (Printf.sprintf "t=%-6d %d -> %d\n" tr.Engine.time tr.Engine.sender
+           tr.Engine.receiver))
+    result.transmissions;
+  Buffer.contents buf

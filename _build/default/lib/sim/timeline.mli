@@ -1,0 +1,14 @@
+(** ASCII timeline of an execution: when each node transmitted and to
+    whom, on a compressed time axis. Used by the examples and by
+    [doda run --timeline]. *)
+
+val render : ?width:int -> n:int -> sink:int -> Doda_core.Engine.result -> string
+(** [render ~n ~sink result] draws one row per node: ['.'] while the
+    node still owns data, ['>'] at (the bucket of) its transmission,
+    [' '] afterwards; the sink row shows ['#'] marks when it receives.
+    [width] is the number of axis buckets (default 64). Nodes that
+    never transmitted keep ['.'] to the end of the axis. *)
+
+val transmissions_table : Doda_core.Engine.result -> string
+(** The raw transmission log, one line per transmission:
+    [t=12  5 -> 0]. *)

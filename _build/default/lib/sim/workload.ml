@@ -1,0 +1,77 @@
+module Prng = Doda_prng.Prng
+module Schedule = Doda_dynamic.Schedule
+module Sequence = Doda_dynamic.Sequence
+module Generators = Doda_dynamic.Generators
+module Mobility = Doda_dynamic.Mobility
+module Trace = Doda_dynamic.Trace
+
+type t =
+  | Uniform
+  | Sink_biased of float
+  | Round_robin
+  | Waypoint
+  | Community of int * float
+  | Grid of int * int
+  | Markov of float * float
+  | Trace_file of string
+
+let syntax =
+  "uniform | sink-biased:W | round-robin | waypoint | community:K:P | grid:R:C | \
+   markov:PON:POFF | trace:FILE"
+
+let parse s =
+  match String.split_on_char ':' s with
+  | [ "uniform" ] -> Ok Uniform
+  | [ "sink-biased"; w ] -> (
+      match float_of_string_opt w with
+      | Some w when w > 0.0 -> Ok (Sink_biased w)
+      | _ -> Error "sink-biased needs a positive weight, e.g. sink-biased:5.0")
+  | [ "round-robin" ] -> Ok Round_robin
+  | [ "waypoint" ] -> Ok Waypoint
+  | [ "community"; k; p ] -> (
+      match (int_of_string_opt k, float_of_string_opt p) with
+      | Some k, Some p when k >= 1 && p >= 0.0 && p <= 1.0 -> Ok (Community (k, p))
+      | _ -> Error "community needs groups and p_intra, e.g. community:4:0.8")
+  | [ "grid"; r; c ] -> (
+      match (int_of_string_opt r, int_of_string_opt c) with
+      | Some r, Some c when r >= 1 && c >= 1 -> Ok (Grid (r, c))
+      | _ -> Error "grid needs rows and cols, e.g. grid:5:5")
+  | [ "markov"; p_on; p_off ] -> (
+      match (float_of_string_opt p_on, float_of_string_opt p_off) with
+      | Some p_on, Some p_off
+        when p_on > 0.0 && p_on <= 1.0 && p_off > 0.0 && p_off <= 1.0 ->
+          Ok (Markov (p_on, p_off))
+      | _ -> Error "markov needs two probabilities in (0,1], e.g. markov:0.01:0.2")
+  | "trace" :: rest when rest <> [] -> Ok (Trace_file (String.concat ":" rest))
+  | _ -> Error ("unknown workload; syntax: " ^ syntax)
+
+let to_string = function
+  | Uniform -> "uniform"
+  | Sink_biased w -> Printf.sprintf "sink-biased:%g" w
+  | Round_robin -> "round-robin"
+  | Waypoint -> "waypoint"
+  | Community (k, p) -> Printf.sprintf "community:%d:%g" k p
+  | Grid (r, c) -> Printf.sprintf "grid:%d:%d" r c
+  | Markov (p_on, p_off) -> Printf.sprintf "markov:%g:%g" p_on p_off
+  | Trace_file f -> "trace:" ^ f
+
+let is_finite = function Trace_file _ -> true | _ -> false
+
+let schedule t ~n ~sink ~seed =
+  let rng = Prng.create seed in
+  match t with
+  | Uniform -> Schedule.of_fun ~n ~sink (Generators.uniform rng ~n)
+  | Sink_biased w ->
+      let weights = Array.init n (fun v -> if v = sink then w else 1.0) in
+      Schedule.of_fun ~n ~sink (Generators.weighted_nodes rng ~weights)
+  | Round_robin -> Schedule.of_fun ~n ~sink (Generators.round_robin ~n)
+  | Waypoint -> Schedule.of_fun ~n ~sink (Mobility.random_waypoint rng ~n)
+  | Community (k, p) ->
+      Schedule.of_fun ~n ~sink (Mobility.community rng ~n ~communities:k ~p_intra:p)
+  | Grid (r, c) ->
+      Schedule.of_fun ~n ~sink (Mobility.grid_walkers rng ~n ~rows:r ~cols:c)
+  | Markov (p_on, p_off) ->
+      Schedule.of_fun ~n ~sink (Generators.markov_edges rng ~n ~p_on ~p_off)
+  | Trace_file path ->
+      let s = Trace.load path in
+      Schedule.of_sequence ~n:(Stdlib.max n (Sequence.max_node s + 1)) ~sink s

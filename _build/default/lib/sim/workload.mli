@@ -1,0 +1,32 @@
+(** Named interaction workloads: one string syntax shared by the CLI,
+    the sweep runner, and experiment configs.
+
+    Syntax: [uniform] | [sink-biased:W] | [round-robin] | [waypoint] |
+    [community:K:P] | [grid:R:C] | [markov:PON:POFF] | [trace:FILE]. *)
+
+type t =
+  | Uniform
+  | Sink_biased of float
+  | Round_robin
+  | Waypoint
+  | Community of int * float
+  | Grid of int * int
+  | Markov of float * float
+  | Trace_file of string
+
+val parse : string -> (t, string) result
+(** Human-oriented error messages on the [Error] side. *)
+
+val to_string : t -> string
+
+val syntax : string
+(** The one-line syntax summary for help output. *)
+
+val schedule : t -> n:int -> sink:int -> seed:int -> Doda_dynamic.Schedule.t
+(** Instantiate the workload. Generator-backed workloads are unbounded;
+    [Trace_file] is finite and may enlarge [n] to fit the trace's node
+    ids. @raise Sys_error / Failure on unreadable or malformed trace
+    files. *)
+
+val is_finite : t -> bool
+(** True only for [Trace_file]. *)

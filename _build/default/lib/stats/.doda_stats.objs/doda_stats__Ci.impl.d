@@ -1,0 +1,1 @@
+lib/stats/ci.ml: Array Descriptive Doda_prng Format

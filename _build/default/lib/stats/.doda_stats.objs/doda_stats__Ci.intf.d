@@ -1,0 +1,1 @@
+lib/stats/ci.mli: Doda_prng Format

@@ -1,0 +1,1 @@
+lib/stats/geometric_sum.mli:

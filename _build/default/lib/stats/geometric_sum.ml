@@ -1,0 +1,85 @@
+let check ps =
+  Array.iter
+    (fun p ->
+      if p <= 0.0 || p > 1.0 then
+        invalid_arg "Geometric_sum: probabilities must lie in (0, 1]")
+    ps
+
+let mean ps =
+  check ps;
+  Array.fold_left (fun acc p -> acc +. (1.0 /. p)) 0.0 ps
+
+let variance ps =
+  check ps;
+  Array.fold_left (fun acc p -> acc +. ((1.0 -. p) /. (p *. p))) 0.0 ps
+
+let pmf ~phases ~upto =
+  check phases;
+  if upto < 0 then invalid_arg "Geometric_sum.pmf: negative support";
+  let m = Array.length phases in
+  let mass = Array.make (upto + 1) 0.0 in
+  if m = 0 then begin
+    mass.(0) <- 1.0;
+    mass
+  end
+  else begin
+    (* alive.(k) = P(exactly k phases complete, process still running)
+       after t interactions; absorption at step t+1 from state m-1 with
+       probability phases.(m-1). *)
+    let alive = Array.make m 0.0 in
+    alive.(0) <- 1.0;
+    for t = 1 to upto do
+      mass.(t) <- alive.(m - 1) *. phases.(m - 1);
+      for k = m - 1 downto 1 do
+        alive.(k) <-
+          (alive.(k) *. (1.0 -. phases.(k))) +. (alive.(k - 1) *. phases.(k - 1))
+      done;
+      alive.(0) <- alive.(0) *. (1.0 -. phases.(0))
+    done;
+    mass
+  end
+
+let cdf_of_pmf pmf =
+  let cdf = Array.make (Array.length pmf) 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      acc := !acc +. p;
+      cdf.(i) <- !acc)
+    pmf;
+  cdf
+
+let quantile ~cdf q =
+  let len = Array.length cdf in
+  let rec search t =
+    if t >= len then
+      invalid_arg "Geometric_sum.quantile: support too short for requested quantile"
+    else if cdf.(t) >= q then t
+    else search (t + 1)
+  in
+  search 0
+
+let ks_distance ~cdf ~samples =
+  let count = Array.length samples in
+  if count = 0 then invalid_arg "Geometric_sum.ks_distance: empty sample";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let len = Array.length cdf in
+  (* Discrete support: the statistic is the sup over integers of
+     |F_emp(t) - F(t)|; a two-pointer walk computes F_emp at every t. *)
+  let worst = ref 0.0 in
+  let i = ref 0 in
+  for t = 0 to len - 1 do
+    while !i < count && sorted.(!i) <= float_of_int t do
+      incr i
+    done;
+    let empirical = float_of_int !i /. float_of_int count in
+    worst := Float.max !worst (Float.abs (empirical -. cdf.(t)))
+  done;
+  (* Samples beyond the represented support: the exact CDF is treated
+     as its boundary value. *)
+  if !i < count && len > 0 then
+    worst :=
+      Float.max !worst
+        (Float.abs (1.0 -. cdf.(len - 1)));
+  !worst

@@ -1,0 +1,37 @@
+(** Sums of independent geometric random variables.
+
+    The termination time of every phase-based process in the paper
+    (Waiting, Gathering, broadcast, sink-meeting counts) is a sum
+    [X = G_1 + ... + G_m] of independent geometrics, [G_i] counting
+    trials up to and including the first success at probability [p_i].
+    This module computes the {e exact} finite-[n] distribution — mean,
+    variance, probability mass, quantiles — so experiments can be
+    checked against the true law rather than only the asymptotic bound.
+    See [Doda_core.Theory] for the model's phase vectors. *)
+
+val mean : float array -> float
+(** [mean ps] is [sum 1/p_i]. @raise Invalid_argument if some
+    [p_i] is outside (0, 1]. *)
+
+val variance : float array -> float
+(** [sum (1 - p_i)/p_i^2]. *)
+
+val pmf : phases:float array -> upto:int -> float array
+(** [pmf ~phases ~upto] is the exact probability mass function of the
+    sum on support [0 .. upto]: entry [t] is [P(X = t)]. Computed by
+    dynamic programming in O(upto * m). Mass beyond [upto] is simply
+    not represented (the array sums to [P(X <= upto)]). *)
+
+val cdf_of_pmf : float array -> float array
+(** Running sum. *)
+
+val quantile : cdf:float array -> float -> int
+(** [quantile ~cdf q] is the smallest [t] with [cdf.(t) >= q].
+    @raise Invalid_argument if the represented mass never reaches [q]
+    (increase [upto]). *)
+
+val ks_distance : cdf:float array -> samples:float array -> float
+(** Kolmogorov–Smirnov distance between the exact CDF and the
+    empirical CDF of [samples] (values beyond the CDF support are
+    treated as mass at the boundary). @raise Invalid_argument on an
+    empty sample. *)

@@ -1,0 +1,64 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+  {
+    lo;
+    hi;
+    width = (hi -. lo) /. float_of_int bins;
+    counts = Array.make bins 0;
+    under = 0;
+    over = 0;
+    total = 0;
+  }
+
+let add h x =
+  h.total <- h.total + 1;
+  if x < h.lo then h.under <- h.under + 1
+  else if x >= h.hi then h.over <- h.over + 1
+  else begin
+    let i = int_of_float ((x -. h.lo) /. h.width) in
+    let i = Stdlib.min i (Array.length h.counts - 1) in
+    h.counts.(i) <- h.counts.(i) + 1
+  end
+
+let of_samples ?(bins = 20) xs =
+  if Array.length xs = 0 then invalid_arg "Histogram.of_samples: empty sample";
+  let lo = Descriptive.min xs and hi = Descriptive.max xs in
+  let hi = if hi = lo then lo +. 1.0 else hi +. ((hi -. lo) *. 1e-9) in
+  let h = create ~lo ~hi ~bins in
+  Array.iter (add h) xs;
+  h
+
+let count h = h.total
+let underflow h = h.under
+let overflow h = h.over
+let bins h = Array.length h.counts
+let bin_count h i = h.counts.(i)
+
+let bin_bounds h i =
+  let lo = h.lo +. (float_of_int i *. h.width) in
+  (lo, lo +. h.width)
+
+let render ?(width = 50) h =
+  let peak = Array.fold_left Stdlib.max 1 h.counts in
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bin_bounds h i in
+      let bar_len = c * width / peak in
+      Buffer.add_string buf
+        (Printf.sprintf "[%12.1f, %12.1f) %6d %s\n" lo hi c (String.make bar_len '#')))
+    h.counts;
+  if h.under > 0 then Buffer.add_string buf (Printf.sprintf "underflow: %d\n" h.under);
+  if h.over > 0 then Buffer.add_string buf (Printf.sprintf "overflow: %d\n" h.over);
+  Buffer.contents buf

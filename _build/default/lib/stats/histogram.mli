@@ -1,0 +1,35 @@
+(** Fixed-width histograms, with an ASCII rendering for terminal
+    reports. Used by benches to show the distribution of termination
+    times around the mean (e.g. the concentration claimed by the
+    Chebyshev arguments of Theorems 8-10). *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [\[lo, hi)] with [bins] equal bins;
+    samples outside the range are counted in outlier counters.
+    @raise Invalid_argument if [bins <= 0] or [hi <= lo]. *)
+
+val of_samples : ?bins:int -> float array -> t
+(** [of_samples xs] builds a histogram spanning the sample range
+    (default 20 bins). @raise Invalid_argument on an empty sample. *)
+
+val add : t -> float -> unit
+(** Record one sample. *)
+
+val count : t -> int
+(** Total samples recorded, including outliers. *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_count : t -> int -> int
+(** [bin_count h i] is the number of samples in bin [i]. *)
+
+val bin_bounds : t -> int -> float * float
+(** [bin_bounds h i] is the [\[lo, hi)] range of bin [i]. *)
+
+val bins : t -> int
+
+val render : ?width:int -> t -> string
+(** ASCII bar rendering, one line per bin. *)

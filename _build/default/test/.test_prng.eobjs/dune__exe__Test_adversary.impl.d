@@ -1,0 +1,1 @@
+test/test_adversary.ml: Alcotest Array Doda_adversary Doda_core Doda_dynamic Doda_graph Doda_prng List Printf

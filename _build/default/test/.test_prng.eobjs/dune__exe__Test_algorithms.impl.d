@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Array Doda_core Doda_dynamic Doda_graph Doda_prng List Printf

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Doda_core Doda_dynamic Doda_prng Doda_stats Format List Printf Stdlib

@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Array Doda_dynamic Doda_graph Doda_prng Filename Float Fun Hashtbl List Option Printf Stdlib String Sys

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Doda_graph Doda_prng Float List Printf

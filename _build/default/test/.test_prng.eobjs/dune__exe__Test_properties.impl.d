@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Doda_adversary Doda_core Doda_dynamic Doda_graph Doda_prng Doda_sim Doda_stats Hashtbl List Printf QCheck QCheck_alcotest Stdlib String

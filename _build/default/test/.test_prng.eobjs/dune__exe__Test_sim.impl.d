@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Doda_core Doda_dynamic Doda_prng Doda_sim Filename Fun List Printf String Sys

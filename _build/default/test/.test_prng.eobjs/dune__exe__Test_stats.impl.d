@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Doda_prng Doda_stats Float List String

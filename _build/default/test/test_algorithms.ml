@@ -1,0 +1,626 @@
+(* Behavioural tests for every algorithm of the paper. *)
+
+module Interaction = Doda_dynamic.Interaction
+module Sequence = Doda_dynamic.Sequence
+module Schedule = Doda_dynamic.Schedule
+module Generators = Doda_dynamic.Generators
+module Static_graph = Doda_graph.Static_graph
+module Engine = Doda_core.Engine
+module Convergecast = Doda_core.Convergecast
+module Knowledge = Doda_core.Knowledge
+module Algorithms = Doda_core.Algorithms
+module Waiting_greedy = Doda_core.Waiting_greedy
+module Theory = Doda_core.Theory
+module Prng = Doda_prng.Prng
+
+let seq pairs = Sequence.of_pairs pairs
+let sched ?(sink = 0) ~n pairs = Schedule.of_sequence ~n ~sink (seq pairs)
+
+let uniform_sched seed ~n =
+  let rng = Prng.create seed in
+  Schedule.of_fun ~n ~sink:0 (Generators.uniform rng ~n)
+
+(* ------------------------------------------------------------------ *)
+(* Waiting                                                             *)
+
+let test_waiting_transmits_only_to_sink () =
+  let s = uniform_sched 1 ~n:10 in
+  let r = Engine.run ~max_steps:1_000_000 Algorithms.waiting s in
+  Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated);
+  List.iter
+    (fun tr -> Alcotest.(check int) "receiver is sink" 0 tr.Engine.receiver)
+    r.transmissions
+
+let test_waiting_terminates_on_round_robin () =
+  let s = Schedule.of_fun ~n:6 ~sink:0 (Generators.round_robin ~n:6) in
+  let r = Engine.run ~max_steps:10_000 Algorithms.waiting s in
+  Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated)
+
+(* ------------------------------------------------------------------ *)
+(* Gathering                                                           *)
+
+let test_gathering_always_transmits () =
+  let s = uniform_sched 2 ~n:10 in
+  let r = Engine.run ~max_steps:1_000_000 Algorithms.gathering s in
+  Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated);
+  (* Exactly n - 1 transmissions, by the model. *)
+  Alcotest.(check int) "n-1 transmissions" 9 (List.length r.transmissions)
+
+let test_gathering_prefers_sink () =
+  let s = sched ~n:3 [ (0, 2) ] in
+  let r = Engine.run Algorithms.gathering s in
+  match r.transmissions with
+  | [ { Engine.sender = 2; receiver = 0; time = 0 } ] -> ()
+  | _ -> Alcotest.fail "expected 2 -> 0"
+
+let test_gathering_smaller_id_receives () =
+  let s = sched ~n:4 [ (2, 3) ] in
+  let r = Engine.run Algorithms.gathering s in
+  match r.transmissions with
+  | [ { Engine.sender = 3; receiver = 2; _ } ] -> ()
+  | _ -> Alcotest.fail "expected 3 -> 2"
+
+let test_gathering_faster_than_waiting () =
+  (* The point of Theorem 9: Gathering O(n^2) vs Waiting O(n^2 log n). *)
+  let n = 24 in
+  let total_g = ref 0 and total_w = ref 0 in
+  for seed = 1 to 10 do
+    let run algo seed =
+      let r = Engine.run ~max_steps:2_000_000 algo (uniform_sched seed ~n) in
+      match r.Engine.duration with
+      | Some d -> d
+      | None -> Alcotest.fail "run did not terminate"
+    in
+    total_g := !total_g + run Algorithms.gathering seed;
+    total_w := !total_w + run Algorithms.waiting (seed + 1000)
+  done;
+  Alcotest.(check bool) "gathering beats waiting on average" true
+    (!total_g < !total_w)
+
+(* ------------------------------------------------------------------ *)
+(* Waiting Greedy                                                      *)
+
+let test_waiting_greedy_sink_receives_when_far () =
+  (* n=3, tau=10. Node 2 meets the sink at t=0 and never again within
+     tau; it must transmit there. *)
+  let s = sched ~n:3 [ (0, 2); (1, 2); (0, 1) ] in
+  let algo = Algorithms.waiting_greedy ~tau:10 in
+  let r = Engine.run algo s in
+  (match r.transmissions with
+  | { Engine.sender = 2; receiver = 0; time = 0 } :: _ -> ()
+  | _ -> Alcotest.fail "node 2 should deliver at t=0");
+  Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated)
+
+let test_waiting_greedy_waits_when_meeting_soon () =
+  (* Node 2 meets the sink at t=0 AND at t=2 (within tau): at t=0 no
+     transmission (both meet times <= tau). At t=1 node 1 (meet time
+     beyond tau) transmits to node 2. At t=2, 2 delivers everything. *)
+  let s = sched ~n:3 [ (0, 2); (1, 2); (0, 2) ] in
+  let algo = Algorithms.waiting_greedy ~tau:10 in
+  let r = Engine.run algo s in
+  Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated);
+  match r.transmissions with
+  | [ t1; t2 ] ->
+      Alcotest.(check int) "1 sends at t=1" 1 t1.Engine.time;
+      Alcotest.(check int) "sender 1" 1 t1.Engine.sender;
+      Alcotest.(check int) "receiver 2" 2 t1.Engine.receiver;
+      Alcotest.(check int) "2 delivers at t=2" 2 t2.Engine.time;
+      Alcotest.(check int) "receiver sink" 0 t2.Engine.receiver
+  | _ -> Alcotest.fail "expected exactly two transmissions"
+
+let test_waiting_greedy_acts_as_gathering_after_tau () =
+  (* After time tau every meet time exceeds tau, so WG always orders a
+     transmission, like Gathering. *)
+  let s = sched ~n:4 [ (1, 2); (1, 3); (2, 3); (1, 2); (0, 1); (0, 2); (0, 3) ] in
+  let algo = Algorithms.waiting_greedy ~tau:0 in
+  let r = Engine.run algo s in
+  Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated);
+  Alcotest.(check int) "n-1 transmissions" 3 (List.length r.transmissions)
+
+let test_waiting_greedy_terminates_whp_by_tau () =
+  let n = 64 in
+  let tau = Theory.recommended_tau n in
+  let successes = ref 0 in
+  let trials = 10 in
+  for seed = 1 to trials do
+    let algo = Algorithms.waiting_greedy ~tau in
+    let r = Engine.run ~max_steps:(4 * tau) algo (uniform_sched (seed * 7) ~n) in
+    match r.Engine.duration with
+    | Some d when d <= tau -> incr successes
+    | _ -> ()
+  done;
+  (* w.h.p. bound: allow one straggler out of ten runs. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "terminated by tau in %d/%d runs" !successes trials)
+    true
+    (!successes >= trials - 1)
+
+let test_waiting_greedy_exact_and_capped_terminate () =
+  (* Exact mode uses true meet times; capped mode approximates only the
+     both-beyond-tau case. Both must terminate. *)
+  let n = 16 in
+  let rng = Prng.create 17 in
+  let s = Generators.uniform_sequence rng ~n ~length:20_000 in
+  let tau = Theory.recommended_tau n in
+  let run exact =
+    let algo = Waiting_greedy.make ~exact ~tau () in
+    Engine.run algo (Schedule.of_sequence ~n ~sink:0 s)
+  in
+  let r1 = run false and r2 = run true in
+  Alcotest.(check bool) "capped terminates" true (r1.stop = Engine.All_aggregated);
+  Alcotest.(check bool) "exact terminates" true (r2.stop = Engine.All_aggregated)
+
+let test_waiting_greedy_doubling_terminates () =
+  let n = 32 in
+  for seed = 1 to 5 do
+    let algo = Waiting_greedy.doubling () in
+    let r = Engine.run ~max_steps:(400 * n * n) algo (uniform_sched (seed * 3) ~n) in
+    Alcotest.(check bool)
+      (Printf.sprintf "terminated (seed %d)" seed)
+      true
+      (r.Engine.stop = Engine.All_aggregated)
+  done
+
+let test_waiting_greedy_doubling_competitive () =
+  (* Without knowing n, the doubling scheme should stay within a small
+     constant factor of the tuned tau (here we allow 8x) and beat
+     Waiting. *)
+  let n = 48 in
+  let tau = Theory.recommended_tau n in
+  let mean_of algo =
+    let total = ref 0 in
+    for seed = 1 to 8 do
+      match
+        (Engine.run ~max_steps:(400 * n * n) algo (uniform_sched (seed * 11) ~n))
+          .Engine.duration
+      with
+      | Some d -> total := !total + d
+      | None -> Alcotest.fail "no termination"
+    done;
+    !total
+  in
+  let tuned = mean_of (Algorithms.waiting_greedy ~tau) in
+  let doubling = mean_of (Waiting_greedy.doubling ()) in
+  let waiting = mean_of Algorithms.waiting in
+  Alcotest.(check bool) "within 8x of tuned" true (doubling < 8 * tuned);
+  Alcotest.(check bool) "beats waiting" true (doubling < waiting)
+
+let test_waiting_greedy_doubling_validation () =
+  Alcotest.check_raises "bad tau0"
+    (Invalid_argument "Waiting_greedy.doubling: tau0 must be positive") (fun () ->
+      ignore (Waiting_greedy.doubling ~tau0:0 ()))
+
+let test_waiting_greedy_rejects_negative_tau () =
+  Alcotest.check_raises "negative tau"
+    (Invalid_argument "Waiting_greedy.make: negative tau") (fun () ->
+      ignore (Waiting_greedy.make ~tau:(-1) ()))
+
+(* ------------------------------------------------------------------ *)
+(* Tree aggregation                                                    *)
+
+let test_tree_aggregation_on_path () =
+  (* Path 0-1-2-3; recurrent interactions; children must be heard
+     before a node fires. *)
+  let g = Static_graph.path 4 in
+  let pattern = seq [ (0, 1); (1, 2); (2, 3); (0, 1); (1, 2); (0, 1) ] in
+  let s = Schedule.of_sequence ~n:4 ~sink:0 (Sequence.repeat pattern 3) in
+  let k = Knowledge.with_underlying g Knowledge.empty in
+  let r = Engine.run ~knowledge:k Algorithms.tree_aggregation s in
+  Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated);
+  let fire v =
+    match List.find_opt (fun t -> t.Engine.sender = v) r.transmissions with
+    | Some t -> t.Engine.time
+    | None -> Alcotest.fail "missing transmission"
+  in
+  Alcotest.(check bool) "3 before 2" true (fire 3 < fire 2);
+  Alcotest.(check bool) "2 before 1" true (fire 2 < fire 1)
+
+let test_tree_aggregation_only_tree_edges () =
+  let rng = Prng.create 23 in
+  let n = 12 in
+  let s = Generators.uniform_sequence rng ~n ~length:50_000 in
+  let sch = Schedule.of_sequence ~n ~sink:0 s in
+  let r = Engine.run Algorithms.tree_aggregation sch in
+  Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated);
+  let g = Doda_dynamic.Underlying.of_sequence ~n s in
+  let tree = Doda_graph.Spanning_tree.bfs_tree g ~root:0 in
+  List.iter
+    (fun tr ->
+      Alcotest.(check int) "to parent"
+        (Doda_graph.Spanning_tree.parent tree tr.Engine.sender)
+        tr.Engine.receiver)
+    r.transmissions
+
+let test_tree_aggregation_optimal_on_tree () =
+  (* Theorem 5: when the underlying graph is a tree, the algorithm is
+     optimal — it terminates exactly at opt(0). *)
+  let g = Static_graph.of_edges 5 [ (0, 1); (1, 2); (1, 3); (3, 4) ] in
+  let rng = Prng.create 29 in
+  let gen = Generators.over_graph rng g in
+  let s = Sequence.of_array (Array.init 500 gen) in
+  let sch = Schedule.of_sequence ~n:5 ~sink:0 s in
+  let k = Knowledge.with_underlying g Knowledge.empty in
+  let r = Engine.run ~knowledge:k Algorithms.tree_aggregation sch in
+  Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated);
+  Alcotest.(check (option int)) "optimal" (Convergecast.opt ~n:5 ~sink:0 s 0)
+    r.duration
+
+let test_tree_aggregation_rejects_disconnected () =
+  let g = Static_graph.of_edges 4 [ (0, 1); (2, 3) ] in
+  let s = sched ~n:4 [ (0, 1) ] in
+  let k = Knowledge.with_underlying g Knowledge.empty in
+  Alcotest.check_raises "disconnected"
+    (Invalid_argument "Spanning_tree.bfs_tree: disconnected graph") (fun () ->
+      ignore (Engine.run ~knowledge:k Algorithms.tree_aggregation s))
+
+(* ------------------------------------------------------------------ *)
+(* Full knowledge                                                      *)
+
+let test_full_knowledge_on_lazy_schedule () =
+  let s = uniform_sched 31 ~n:12 in
+  let r = Engine.run ~max_steps:1_000_000 Algorithms.full_knowledge s in
+  Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated);
+  let prefix = Schedule.prefix s (Schedule.materialized s) in
+  Alcotest.(check (option int)) "optimal" (Convergecast.opt ~n:12 ~sink:0 prefix 0)
+    r.duration
+
+let test_full_knowledge_never_transmits_when_infeasible () =
+  let s = sched ~n:3 [ (1, 2); (1, 2); (1, 2) ] in
+  let r = Engine.run Algorithms.full_knowledge s in
+  Alcotest.(check bool) "no termination" true (r.stop = Engine.Schedule_exhausted);
+  Alcotest.(check int) "no transmissions" 0 (List.length r.transmissions)
+
+(* ------------------------------------------------------------------ *)
+(* Future gossip                                                       *)
+
+let test_future_gossip_terminates () =
+  let n = 8 in
+  let rng = Prng.create 37 in
+  let s = Generators.uniform_sequence rng ~n ~length:10_000 in
+  let sch = Schedule.of_sequence ~n ~sink:0 s in
+  let r = Engine.run Algorithms.future_gossip sch in
+  Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated)
+
+let test_future_gossip_cost_at_most_n () =
+  (* Theorem 6: cost <= n. *)
+  let n = 6 in
+  for seed = 1 to 8 do
+    let rng = Prng.create (seed * 13) in
+    let s = Generators.uniform_sequence rng ~n ~length:10_000 in
+    let sch = Schedule.of_sequence ~n ~sink:0 s in
+    let r = Engine.run Algorithms.future_gossip sch in
+    match Doda_core.Cost.of_result ~n ~sink:0 s r with
+    | Doda_core.Cost.Finite c ->
+        Alcotest.(check bool)
+          (Printf.sprintf "cost %d <= n (seed %d)" c seed)
+          true (c <= n)
+    | Doda_core.Cost.At_least _ -> Alcotest.fail "did not terminate"
+  done
+
+let test_future_gossip_no_transmission_before_knowledge () =
+  let n = 5 in
+  let rng = Prng.create 41 in
+  let s = Generators.uniform_sequence rng ~n ~length:5_000 in
+  let sch = Schedule.of_sequence ~n ~sink:0 s in
+  let r = Engine.run Algorithms.future_gossip sch in
+  (* Gossip needs at least one interaction per node before anyone can
+     know everything; the first transmission cannot be at time 0 for
+     n >= 3. *)
+  match r.transmissions with
+  | { Engine.time; _ } :: _ -> Alcotest.(check bool) "t > 0" true (time > 0)
+  | [] -> Alcotest.fail "expected transmissions"
+
+(* ------------------------------------------------------------------ *)
+(* Gathering tie-break variants                                        *)
+
+module Gathering_variants = Doda_core.Gathering_variants
+
+let test_variants_all_terminate () =
+  let n = 12 in
+  List.iter
+    (fun algo ->
+      let rng = Prng.create 61 in
+      let s = Generators.uniform_sequence rng ~n ~length:100_000 in
+      let sch = Schedule.of_sequence ~n ~sink:0 s in
+      let r = Engine.run algo sch in
+      Alcotest.(check bool)
+        (algo.Doda_core.Algorithm.name ^ " terminates")
+        true
+        (r.Engine.stop = Engine.All_aggregated);
+      Alcotest.(check int)
+        (algo.Doda_core.Algorithm.name ^ " n-1 transmissions")
+        (n - 1)
+        (List.length r.Engine.transmissions))
+    Gathering_variants.all
+
+let test_variant_larger_id_receives () =
+  let s = sched ~n:4 [ (2, 3) ] in
+  let algo = Gathering_variants.make Gathering_variants.Larger_id in
+  let r = Engine.run algo s in
+  match r.transmissions with
+  | [ { Engine.sender = 2; receiver = 3; _ } ] -> ()
+  | _ -> Alcotest.fail "expected 2 -> 3"
+
+let test_variant_more_data_receives () =
+  (* After 3 -> 2, node 2 carries two data; meeting node 1 (one datum),
+     node 1 must send to node 2. *)
+  let s = sched ~n:4 [ (2, 3); (1, 2); (0, 2); (0, 1) ] in
+  let algo = Gathering_variants.make Gathering_variants.More_data in
+  let r = Engine.run algo s in
+  match r.transmissions with
+  | { Engine.sender = 3; receiver = 2; _ }
+    :: { Engine.sender = 1; receiver = 2; _ } :: _ -> ()
+  | _ -> Alcotest.fail "expected 3 -> 2 then 1 -> 2"
+
+let test_variant_smaller_id_matches_gathering () =
+  let n = 10 in
+  let rng = Prng.create 67 in
+  let s = Generators.uniform_sequence rng ~n ~length:50_000 in
+  let run algo = Engine.run algo (Schedule.of_sequence ~n ~sink:0 s) in
+  let r1 = run Algorithms.gathering in
+  let r2 = run (Gathering_variants.make Gathering_variants.Smaller_id) in
+  Alcotest.(check (option int)) "same duration" r1.Engine.duration r2.Engine.duration
+
+(* ------------------------------------------------------------------ *)
+(* Kruskal tree aggregation                                            *)
+
+let test_tree_kruskal_terminates_and_uses_its_tree () =
+  let rng = Prng.create 71 in
+  let n = 14 in
+  let g = Doda_graph.Graph_gen.random_connected rng ~n ~extra_edges:10 in
+  let s = Sequence.of_array (Array.init 100_000 (Generators.over_graph rng g)) in
+  let sch = Schedule.of_sequence ~n ~sink:0 s in
+  let k = Knowledge.with_underlying g Knowledge.empty in
+  let algo = Doda_core.Tree_aggregation.make ~tree:Doda_core.Tree_aggregation.Kruskal () in
+  let r = Engine.run ~knowledge:k algo sch in
+  Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated);
+  let tree = Doda_graph.Spanning_tree.kruskal_tree g ~root:0 in
+  List.iter
+    (fun tr ->
+      Alcotest.(check int) "to kruskal parent"
+        (Doda_graph.Spanning_tree.parent tree tr.Engine.sender)
+        tr.Engine.receiver)
+    r.transmissions
+
+(* ------------------------------------------------------------------ *)
+(* meetTime policy zoo                                                 *)
+
+module Meet_time_policies = Doda_core.Meet_time_policies
+
+let test_policies_terminate () =
+  let n = 24 in
+  List.iter
+    (fun algo ->
+      let rng = Prng.create 101 in
+      let s = Generators.uniform_sequence rng ~n ~length:500_000 in
+      let r = Engine.run algo (Schedule.of_sequence ~n ~sink:0 s) in
+      Alcotest.(check bool)
+        (algo.Doda_core.Algorithm.name ^ " terminates")
+        true
+        (r.Engine.stop = Engine.All_aggregated))
+    [
+      Meet_time_policies.pure_greedy ~horizon:100_000;
+      Meet_time_policies.sliding_window ~theta:200;
+      Meet_time_policies.sliding_window ~theta:0;
+    ]
+
+let test_pure_greedy_fires_on_every_live_pair () =
+  (* pure-greedy behaves like Gathering in transmission count. *)
+  let n = 10 in
+  let rng = Prng.create 103 in
+  let s = Generators.uniform_sequence rng ~n ~length:100_000 in
+  let algo = Meet_time_policies.pure_greedy ~horizon:100_000 in
+  let r = Engine.run algo (Schedule.of_sequence ~n ~sink:0 s) in
+  Alcotest.(check int) "n-1 transmissions" (n - 1) (List.length r.Engine.transmissions)
+
+let test_sliding_window_waits_for_near_meetings () =
+  (* Node 2 meets the sink at t = 2, within theta of t = 0: at the
+     interaction {1,2} at t=0 node 2 must keep its data (it is the
+     later-meeting node... check: m1 beyond, m2 = 2: sender is node 1
+     whose meet is beyond theta => node 1 transmits to 2). *)
+  let s = sched ~n:3 [ (1, 2); (0, 2) ] in
+  let algo = Meet_time_policies.sliding_window ~theta:5 in
+  let r = Engine.run algo s in
+  Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated);
+  match r.transmissions with
+  | [ t1; _ ] ->
+      Alcotest.(check int) "node 1 sends first" 1 t1.Engine.sender;
+      Alcotest.(check int) "to node 2" 2 t1.Engine.receiver
+  | _ -> Alcotest.fail "expected two transmissions"
+
+let test_policy_validation () =
+  Alcotest.check_raises "bad horizon"
+    (Invalid_argument "Meet_time_policies.pure_greedy: horizon < 1") (fun () ->
+      ignore (Meet_time_policies.pure_greedy ~horizon:0));
+  Alcotest.check_raises "bad theta"
+    (Invalid_argument "Meet_time_policies.sliding_window: negative theta") (fun () ->
+      ignore (Meet_time_policies.sliding_window ~theta:(-1)))
+
+(* ------------------------------------------------------------------ *)
+(* Coin (randomized oblivious) algorithms                              *)
+
+module Coin_algorithms = Doda_core.Coin_algorithms
+
+let test_coin_waiting_terminates () =
+  let master = Prng.create 81 in
+  let algo = Coin_algorithms.coin_waiting master ~p:0.5 in
+  let r = Engine.run ~max_steps:2_000_000 algo (uniform_sched 82 ~n:10) in
+  Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated);
+  List.iter
+    (fun tr -> Alcotest.(check int) "receiver is sink" 0 tr.Engine.receiver)
+    r.transmissions
+
+let test_coin_waiting_slower_than_waiting () =
+  (* Skipping half the sink meetings roughly doubles the run. *)
+  let n = 16 in
+  let total_coin = ref 0 and total_plain = ref 0 in
+  let master = Prng.create 83 in
+  for seed = 1 to 8 do
+    let run algo s =
+      match (Engine.run ~max_steps:4_000_000 algo (uniform_sched s ~n)).duration with
+      | Some d -> d
+      | None -> Alcotest.fail "no termination"
+    in
+    total_coin := !total_coin + run (Coin_algorithms.coin_waiting master ~p:0.25) seed;
+    total_plain := !total_plain + run Algorithms.waiting (seed + 500)
+  done;
+  Alcotest.(check bool) "coin slower" true (!total_coin > !total_plain)
+
+let test_coin_instances_independent () =
+  (* Two instances of the same coin algorithm on the same schedule make
+     different choices (with overwhelming probability). *)
+  let master = Prng.create 85 in
+  let algo = Coin_algorithms.coin_waiting master ~p:0.5 in
+  let rng = Prng.create 86 in
+  let s = Generators.uniform_sequence rng ~n:8 ~length:50_000 in
+  let run () = Engine.run algo (Schedule.of_sequence ~n:8 ~sink:0 s) in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check bool) "different runs" true (r1.duration <> r2.duration)
+
+let test_coin_validation () =
+  let master = Prng.create 87 in
+  Alcotest.check_raises "bad p"
+    (Invalid_argument "Coin_algorithms: p must lie in (0, 1]") (fun () ->
+      ignore (Coin_algorithms.coin_waiting master ~p:1.5))
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+
+let test_registry_find () =
+  let check name expected =
+    match Algorithms.find ~n:10 name with
+    | Some a -> Alcotest.(check string) name expected a.Doda_core.Algorithm.name
+    | None -> Alcotest.fail ("not found: " ^ name)
+  in
+  check "waiting" "waiting";
+  check "gathering" "gathering";
+  check "tree" "tree-aggregation";
+  check "full-knowledge" "full-knowledge";
+  check "future-gossip" "future-gossip";
+  check "waiting-greedy:50" "waiting-greedy(tau=50)";
+  check "gathering-larger-id" "gathering-larger-id";
+  check "gathering-more-data" "gathering-more-data";
+  check "gathering-hash" "gathering-hash";
+  check "tree-kruskal" "tree-aggregation(kruskal)";
+  Alcotest.(check bool) "unknown" true (Algorithms.find ~n:10 "nope" = None);
+  Alcotest.(check bool) "bad tau" true (Algorithms.find ~n:10 "waiting-greedy:x" = None)
+
+let test_registry_all_terminate_uniform () =
+  let n = 10 in
+  List.iter
+    (fun algo ->
+      let rng = Prng.create 53 in
+      let s = Generators.uniform_sequence rng ~n ~length:100_000 in
+      let sch = Schedule.of_sequence ~n ~sink:0 s in
+      let r = Engine.run algo sch in
+      Alcotest.(check bool)
+        (algo.Doda_core.Algorithm.name ^ " terminates")
+        true
+        (r.Engine.stop = Engine.All_aggregated))
+    (Algorithms.all_for ~n)
+
+let () =
+  Alcotest.run "algorithms"
+    [
+      ( "waiting",
+        [
+          Alcotest.test_case "transmits only to sink" `Quick
+            test_waiting_transmits_only_to_sink;
+          Alcotest.test_case "terminates on round robin" `Quick
+            test_waiting_terminates_on_round_robin;
+        ] );
+      ( "gathering",
+        [
+          Alcotest.test_case "always transmits" `Quick test_gathering_always_transmits;
+          Alcotest.test_case "prefers sink" `Quick test_gathering_prefers_sink;
+          Alcotest.test_case "smaller id receives" `Quick
+            test_gathering_smaller_id_receives;
+          Alcotest.test_case "faster than waiting" `Slow
+            test_gathering_faster_than_waiting;
+        ] );
+      ( "waiting-greedy",
+        [
+          Alcotest.test_case "delivers when meeting far" `Quick
+            test_waiting_greedy_sink_receives_when_far;
+          Alcotest.test_case "waits when meeting soon" `Quick
+            test_waiting_greedy_waits_when_meeting_soon;
+          Alcotest.test_case "acts as gathering after tau" `Quick
+            test_waiting_greedy_acts_as_gathering_after_tau;
+          Alcotest.test_case "terminates by tau whp" `Slow
+            test_waiting_greedy_terminates_whp_by_tau;
+          Alcotest.test_case "exact and capped terminate" `Slow
+            test_waiting_greedy_exact_and_capped_terminate;
+          Alcotest.test_case "rejects negative tau" `Quick
+            test_waiting_greedy_rejects_negative_tau;
+          Alcotest.test_case "doubling terminates" `Quick
+            test_waiting_greedy_doubling_terminates;
+          Alcotest.test_case "doubling competitive" `Slow
+            test_waiting_greedy_doubling_competitive;
+          Alcotest.test_case "doubling validation" `Quick
+            test_waiting_greedy_doubling_validation;
+        ] );
+      ( "tree-aggregation",
+        [
+          Alcotest.test_case "on path" `Quick test_tree_aggregation_on_path;
+          Alcotest.test_case "only tree edges" `Quick
+            test_tree_aggregation_only_tree_edges;
+          Alcotest.test_case "optimal on tree" `Quick
+            test_tree_aggregation_optimal_on_tree;
+          Alcotest.test_case "rejects disconnected" `Quick
+            test_tree_aggregation_rejects_disconnected;
+        ] );
+      ( "full-knowledge",
+        [
+          Alcotest.test_case "on lazy schedule" `Quick
+            test_full_knowledge_on_lazy_schedule;
+          Alcotest.test_case "never transmits when infeasible" `Quick
+            test_full_knowledge_never_transmits_when_infeasible;
+        ] );
+      ( "future-gossip",
+        [
+          Alcotest.test_case "terminates" `Quick test_future_gossip_terminates;
+          Alcotest.test_case "cost at most n" `Slow test_future_gossip_cost_at_most_n;
+          Alcotest.test_case "no early transmission" `Quick
+            test_future_gossip_no_transmission_before_knowledge;
+        ] );
+      ( "gathering-variants",
+        [
+          Alcotest.test_case "all terminate" `Quick test_variants_all_terminate;
+          Alcotest.test_case "larger id receives" `Quick
+            test_variant_larger_id_receives;
+          Alcotest.test_case "more data receives" `Quick
+            test_variant_more_data_receives;
+          Alcotest.test_case "smaller-id matches gathering" `Quick
+            test_variant_smaller_id_matches_gathering;
+        ] );
+      ( "tree-kruskal",
+        [
+          Alcotest.test_case "terminates on its tree" `Quick
+            test_tree_kruskal_terminates_and_uses_its_tree;
+        ] );
+      ( "meet-time-policies",
+        [
+          Alcotest.test_case "terminate" `Slow test_policies_terminate;
+          Alcotest.test_case "pure greedy fires always" `Quick
+            test_pure_greedy_fires_on_every_live_pair;
+          Alcotest.test_case "sliding window waits" `Quick
+            test_sliding_window_waits_for_near_meetings;
+          Alcotest.test_case "validation" `Quick test_policy_validation;
+        ] );
+      ( "coin-algorithms",
+        [
+          Alcotest.test_case "coin waiting terminates" `Quick
+            test_coin_waiting_terminates;
+          Alcotest.test_case "coin slower than plain" `Slow
+            test_coin_waiting_slower_than_waiting;
+          Alcotest.test_case "instances independent" `Quick
+            test_coin_instances_independent;
+          Alcotest.test_case "validation" `Quick test_coin_validation;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "find by name" `Quick test_registry_find;
+          Alcotest.test_case "all terminate on uniform" `Slow
+            test_registry_all_terminate_uniform;
+        ] );
+    ]

@@ -1,0 +1,248 @@
+(* Tests for the static-graph substrate. *)
+
+module Static_graph = Doda_graph.Static_graph
+module Traversal = Doda_graph.Traversal
+module Spanning_tree = Doda_graph.Spanning_tree
+module Graph_gen = Doda_graph.Graph_gen
+module Prng = Doda_prng.Prng
+
+let test_build_and_query () =
+  let g = Static_graph.of_edges 4 [ (0, 1); (1, 2); (2, 0) ] in
+  Alcotest.(check int) "n" 4 (Static_graph.n g);
+  Alcotest.(check int) "edges" 3 (Static_graph.edge_count g);
+  Alcotest.(check bool) "has 0-1" true (Static_graph.has_edge g 0 1);
+  Alcotest.(check bool) "has 1-0" true (Static_graph.has_edge g 1 0);
+  Alcotest.(check bool) "no 0-3" false (Static_graph.has_edge g 0 3);
+  Alcotest.(check (list int)) "neighbors of 1" [ 0; 2 ] (Static_graph.neighbors g 1);
+  Alcotest.(check int) "degree of 3" 0 (Static_graph.degree g 3)
+
+let test_duplicate_edges_ignored () =
+  let g = Static_graph.create 3 in
+  Static_graph.add_edge g 0 1;
+  Static_graph.add_edge g 1 0;
+  Static_graph.add_edge g 0 1;
+  Alcotest.(check int) "one edge" 1 (Static_graph.edge_count g)
+
+let test_self_loop_rejected () =
+  let g = Static_graph.create 3 in
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Static_graph.add_edge: self-loop") (fun () ->
+      Static_graph.add_edge g 1 1)
+
+let test_edges_sorted () =
+  let g = Static_graph.of_edges 4 [ (3, 2); (1, 0); (2, 0) ] in
+  Alcotest.(check (list (pair int int))) "sorted edges"
+    [ (0, 1); (0, 2); (2, 3) ] (Static_graph.edges g)
+
+let test_families () =
+  Alcotest.(check int) "complete 5" 10 (Static_graph.edge_count (Static_graph.complete 5));
+  Alcotest.(check int) "path 5" 4 (Static_graph.edge_count (Static_graph.path 5));
+  Alcotest.(check int) "cycle 5" 5 (Static_graph.edge_count (Static_graph.cycle 5));
+  Alcotest.(check int) "star 5" 4 (Static_graph.edge_count (Static_graph.star 5));
+  Alcotest.(check int) "grid 3x4 edges" 17
+    (Static_graph.edge_count (Static_graph.grid 3 4));
+  Alcotest.(check bool) "path is tree" true (Static_graph.is_tree (Static_graph.path 6));
+  Alcotest.(check bool) "cycle is not tree" false
+    (Static_graph.is_tree (Static_graph.cycle 6))
+
+let test_equal_and_copy () =
+  let g = Static_graph.cycle 5 in
+  let h = Static_graph.copy g in
+  Alcotest.(check bool) "copy equal" true (Static_graph.equal g h);
+  Static_graph.add_edge h 0 2;
+  Alcotest.(check bool) "copy detached" false (Static_graph.equal g h)
+
+let test_bfs_distances () =
+  let g = Static_graph.path 5 in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 2; 3; 4 |]
+    (Traversal.bfs_distances g 0);
+  let g2 = Static_graph.of_edges 4 [ (0, 1) ] in
+  let d = Traversal.bfs_distances g2 0 in
+  Alcotest.(check int) "unreachable" (-1) d.(3)
+
+let test_connectivity_components () =
+  let g = Static_graph.of_edges 6 [ (0, 1); (1, 2); (3, 4) ] in
+  Alcotest.(check bool) "not connected" false (Traversal.connected g);
+  Alcotest.(check int) "three components" 3 (Traversal.component_count g);
+  let labels = Traversal.components g in
+  Alcotest.(check bool) "0 and 2 together" true (labels.(0) = labels.(2));
+  Alcotest.(check bool) "0 and 3 apart" true (labels.(0) <> labels.(3))
+
+let test_diameter () =
+  Alcotest.(check int) "path diameter" 4 (Traversal.diameter (Static_graph.path 5));
+  Alcotest.(check int) "cycle diameter" 3 (Traversal.diameter (Static_graph.cycle 6));
+  Alcotest.(check int) "complete diameter" 1
+    (Traversal.diameter (Static_graph.complete 4))
+
+let test_bfs_tree_shape () =
+  let g = Static_graph.cycle 6 in
+  let t = Spanning_tree.bfs_tree g ~root:0 in
+  Alcotest.(check int) "root" 0 (Spanning_tree.root t);
+  Alcotest.(check int) "root parent is itself" 0 (Spanning_tree.parent t 0);
+  Alcotest.(check int) "size" 6 (Spanning_tree.size t);
+  Alcotest.(check int) "n-1 edges" 5 (List.length (Spanning_tree.edges t));
+  (* BFS from 0 on a 6-cycle: depth of opposite node is 3. *)
+  Alcotest.(check int) "depth of 3" 3 (Spanning_tree.depth t 3);
+  Alcotest.(check int) "whole tree" 6 (Spanning_tree.subtree_size t 0)
+
+let test_bfs_tree_deterministic () =
+  let rng = Prng.create 5 in
+  let g = Graph_gen.random_connected rng ~n:30 ~extra_edges:20 in
+  let t1 = Spanning_tree.bfs_tree g ~root:0 in
+  let t2 = Spanning_tree.bfs_tree (Static_graph.copy g) ~root:0 in
+  for u = 0 to 29 do
+    Alcotest.(check int) "same parent" (Spanning_tree.parent t1 u)
+      (Spanning_tree.parent t2 u)
+  done
+
+let test_post_order_children_first () =
+  let g = Static_graph.of_edges 5 [ (0, 1); (0, 2); (1, 3); (1, 4) ] in
+  let t = Spanning_tree.bfs_tree g ~root:0 in
+  let order = Spanning_tree.post_order t in
+  Alcotest.(check int) "all nodes" 5 (List.length order);
+  let position v =
+    let rec find i = function
+      | [] -> Alcotest.fail "node missing from post order"
+      | x :: rest -> if x = v then i else find (i + 1) rest
+    in
+    find 0 order
+  in
+  Alcotest.(check bool) "3 before 1" true (position 3 < position 1);
+  Alcotest.(check bool) "1 before 0" true (position 1 < position 0)
+
+let test_leaves () =
+  let g = Static_graph.star 5 in
+  let t = Spanning_tree.bfs_tree g ~root:0 in
+  Alcotest.(check (list int)) "leaves" [ 1; 2; 3; 4 ] (Spanning_tree.leaves t)
+
+let test_tree_edge () =
+  let g = Static_graph.cycle 4 in
+  let t = Spanning_tree.bfs_tree g ~root:0 in
+  Alcotest.(check bool) "0-1 tree edge" true (Spanning_tree.is_tree_edge t 0 1);
+  (* The cycle-closing edge is not in the tree: on C4 rooted at 0, the
+     edge 2-3 closes the cycle (both at depth <= 2 via different arms). *)
+  Alcotest.(check int) "tree has 3 edges" 3 (List.length (Spanning_tree.edges t))
+
+let test_union_find () =
+  let module Uf = Doda_graph.Union_find in
+  let uf = Uf.create 6 in
+  Alcotest.(check int) "six sets" 6 (Uf.count uf);
+  Alcotest.(check bool) "union 0 1" true (Uf.union uf 0 1);
+  Alcotest.(check bool) "union 1 2" true (Uf.union uf 1 2);
+  Alcotest.(check bool) "redundant" false (Uf.union uf 0 2);
+  Alcotest.(check bool) "connected" true (Uf.connected uf 0 2);
+  Alcotest.(check bool) "not connected" false (Uf.connected uf 0 5);
+  Alcotest.(check int) "four sets" 4 (Uf.count uf)
+
+let test_kruskal_tree_valid () =
+  let rng = Prng.create 12 in
+  for _ = 1 to 10 do
+    let g = Graph_gen.random_connected rng ~n:20 ~extra_edges:15 in
+    let t = Spanning_tree.kruskal_tree g ~root:0 in
+    Alcotest.(check int) "size" 20 (Spanning_tree.size t);
+    Alcotest.(check bool) "is a tree" true
+      (Static_graph.is_tree (Spanning_tree.to_graph t));
+    (* every tree edge is a graph edge *)
+    List.iter
+      (fun (p, c) ->
+        Alcotest.(check bool) "edge of graph" true (Static_graph.has_edge g p c))
+      (Spanning_tree.edges t)
+  done
+
+let test_kruskal_lexicographic () =
+  (* On C4, Kruskal keeps edges (0,1) (0,3) (1,2) and drops (2,3). *)
+  let g = Static_graph.cycle 4 in
+  let t = Spanning_tree.kruskal_tree g ~root:0 in
+  Alcotest.(check bool) "2-3 dropped" false (Spanning_tree.is_tree_edge t 2 3);
+  Alcotest.(check bool) "0-1 kept" true (Spanning_tree.is_tree_edge t 0 1)
+
+let test_kruskal_rejects_disconnected () =
+  let g = Static_graph.of_edges 4 [ (0, 1); (2, 3) ] in
+  Alcotest.check_raises "disconnected"
+    (Invalid_argument "Spanning_tree.kruskal_tree: disconnected graph") (fun () ->
+      ignore (Spanning_tree.kruskal_tree g ~root:0))
+
+let test_random_tree_is_tree () =
+  let rng = Prng.create 6 in
+  for n = 1 to 40 do
+    let g = Graph_gen.random_tree rng ~n in
+    Alcotest.(check bool) (Printf.sprintf "tree on %d" n) true (Static_graph.is_tree g)
+  done
+
+let test_random_connected () =
+  let rng = Prng.create 7 in
+  let g = Graph_gen.random_connected rng ~n:25 ~extra_edges:10 in
+  Alcotest.(check bool) "connected" true (Traversal.connected g);
+  Alcotest.(check int) "edge count" 34 (Static_graph.edge_count g)
+
+let test_gnm_edge_count () =
+  let rng = Prng.create 8 in
+  let g = Graph_gen.gnm rng ~n:10 ~m:20 in
+  Alcotest.(check int) "m edges" 20 (Static_graph.edge_count g);
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Graph_gen.gnm: too many edges requested") (fun () ->
+      ignore (Graph_gen.gnm rng ~n:4 ~m:10))
+
+let test_erdos_renyi_density () =
+  let rng = Prng.create 9 in
+  let g = Graph_gen.erdos_renyi rng ~n:100 ~p:0.3 in
+  let expected = 0.3 *. float_of_int (100 * 99 / 2) in
+  let actual = float_of_int (Static_graph.edge_count g) in
+  Alcotest.(check bool) "density near p" true
+    (Float.abs (actual -. expected) /. expected < 0.15)
+
+let test_random_geometric_radius () =
+  let rng = Prng.create 10 in
+  let g, pos = Graph_gen.random_geometric rng ~n:50 ~radius:0.25 in
+  Alcotest.(check int) "positions" 50 (Array.length pos);
+  Static_graph.fold_edges
+    (fun u v () ->
+      let xu, yu = pos.(u) and xv, yv = pos.(v) in
+      let d = sqrt (((xu -. xv) ** 2.0) +. ((yu -. yv) ** 2.0)) in
+      Alcotest.(check bool) "within radius" true (d <= 0.25))
+    g ()
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "static",
+        [
+          Alcotest.test_case "build and query" `Quick test_build_and_query;
+          Alcotest.test_case "duplicates ignored" `Quick test_duplicate_edges_ignored;
+          Alcotest.test_case "self loop rejected" `Quick test_self_loop_rejected;
+          Alcotest.test_case "edges sorted" `Quick test_edges_sorted;
+          Alcotest.test_case "families" `Quick test_families;
+          Alcotest.test_case "equal and copy" `Quick test_equal_and_copy;
+        ] );
+      ( "traversal",
+        [
+          Alcotest.test_case "bfs distances" `Quick test_bfs_distances;
+          Alcotest.test_case "connectivity" `Quick test_connectivity_components;
+          Alcotest.test_case "diameter" `Quick test_diameter;
+        ] );
+      ( "spanning-tree",
+        [
+          Alcotest.test_case "bfs tree shape" `Quick test_bfs_tree_shape;
+          Alcotest.test_case "deterministic" `Quick test_bfs_tree_deterministic;
+          Alcotest.test_case "post order" `Quick test_post_order_children_first;
+          Alcotest.test_case "leaves" `Quick test_leaves;
+          Alcotest.test_case "tree edges" `Quick test_tree_edge;
+        ] );
+      ( "union-find",
+        [ Alcotest.test_case "basic" `Quick test_union_find ] );
+      ( "kruskal",
+        [
+          Alcotest.test_case "valid tree" `Quick test_kruskal_tree_valid;
+          Alcotest.test_case "lexicographic" `Quick test_kruskal_lexicographic;
+          Alcotest.test_case "rejects disconnected" `Quick
+            test_kruskal_rejects_disconnected;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "random tree" `Quick test_random_tree_is_tree;
+          Alcotest.test_case "random connected" `Quick test_random_connected;
+          Alcotest.test_case "gnm" `Quick test_gnm_edge_count;
+          Alcotest.test_case "erdos renyi" `Quick test_erdos_renyi_density;
+          Alcotest.test_case "random geometric" `Quick test_random_geometric_radius;
+        ] );
+    ]

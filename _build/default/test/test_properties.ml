@@ -1,0 +1,500 @@
+(* Property-based tests (qcheck) on the core invariants of the model:
+   engine conservation laws, the convergecast duality, flooding
+   monotonicity, cost-function properties, spanning-tree structure. *)
+
+module Interaction = Doda_dynamic.Interaction
+module Sequence = Doda_dynamic.Sequence
+module Schedule = Doda_dynamic.Schedule
+module Generators = Doda_dynamic.Generators
+module Underlying = Doda_dynamic.Underlying
+module Temporal = Doda_dynamic.Temporal
+module Static_graph = Doda_graph.Static_graph
+module Spanning_tree = Doda_graph.Spanning_tree
+module Graph_gen = Doda_graph.Graph_gen
+module Engine = Doda_core.Engine
+module Convergecast = Doda_core.Convergecast
+module Brute_force = Doda_core.Brute_force
+module Cost = Doda_core.Cost
+module Algorithms = Doda_core.Algorithms
+module Prng = Doda_prng.Prng
+
+(* A generated problem instance: node count and a random finite
+   sequence of interactions described by a seed. *)
+let instance_gen =
+  QCheck.Gen.(
+    map3
+      (fun n len seed -> (n, len, seed))
+      (int_range 3 9) (int_range 1 60) (int_range 0 1_000_000))
+
+let instance_arb =
+  QCheck.make
+    ~print:(fun (n, len, seed) -> Printf.sprintf "(n=%d, len=%d, seed=%d)" n len seed)
+    instance_gen
+
+let sequence_of (n, len, seed) =
+  Generators.uniform_sequence (Prng.create seed) ~n ~length:len
+
+let count = 300
+
+(* ------------------------------------------------------------------ *)
+
+let prop_interaction_symmetric =
+  QCheck.Test.make ~count ~name:"interaction: make is symmetric"
+    QCheck.(pair (int_range 0 50) (int_range 0 50))
+    (fun (a, b) ->
+      QCheck.assume (a <> b);
+      Interaction.equal (Interaction.make a b) (Interaction.make b a))
+
+let prop_pair_ordered_distinct =
+  QCheck.Test.make ~count ~name:"prng: pair is ordered and in range"
+    QCheck.(pair (int_range 2 100) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Prng.create seed in
+      let a, b = Prng.pair rng n in
+      a >= 0 && a < b && b < n)
+
+let prop_sequence_rev_involutive =
+  QCheck.Test.make ~count ~name:"sequence: rev is involutive" instance_arb
+    (fun inst ->
+      let s = sequence_of inst in
+      Sequence.equal s (Sequence.rev (Sequence.rev s)))
+
+let prop_underlying_edges_exact =
+  QCheck.Test.make ~count ~name:"underlying: edge set equals interaction pairs"
+    instance_arb (fun ((n, _, _) as inst) ->
+      let s = sequence_of inst in
+      let g = Underlying.of_sequence ~n s in
+      let in_seq = Hashtbl.create 16 in
+      Sequence.iteri (fun _ i -> Hashtbl.replace in_seq (Interaction.to_pair i) ()) s;
+      List.for_all (fun e -> Hashtbl.mem in_seq e) (Static_graph.edges g)
+      && Hashtbl.length in_seq = Static_graph.edge_count g)
+
+let prop_flooding_monotone_in_horizon =
+  QCheck.Test.make ~count ~name:"temporal: reachable set grows with horizon"
+    instance_arb (fun ((n, len, _) as inst) ->
+      let s = sequence_of inst in
+      let h1 = len / 2 and h2 = len in
+      let r1 = Temporal.reachable_set ~n ~src:0 ~horizon:h1 s in
+      let r2 = Temporal.reachable_set ~n ~src:0 ~horizon:h2 s in
+      List.for_all (fun v -> List.mem v r2) r1)
+
+let prop_opt_matches_brute_force =
+  QCheck.Test.make ~count:150 ~name:"convergecast: opt equals exhaustive search"
+    instance_arb (fun ((n, len, _) as inst) ->
+      let s = sequence_of inst in
+      let start = len / 3 in
+      Convergecast.opt ~n ~sink:0 s start
+      = Brute_force.optimal_duration ~n ~sink:0 s ~start)
+
+let prop_opt_monotone_in_start =
+  QCheck.Test.make ~count ~name:"convergecast: opt is monotone in start time"
+    instance_arb (fun ((n, len, _) as inst) ->
+      let s = sequence_of inst in
+      let o0 = Convergecast.opt ~n ~sink:0 s 0 in
+      let o1 = Convergecast.opt ~n ~sink:0 s (len / 2) in
+      match (o0, o1) with
+      | Some a, Some b -> a <= b
+      | _, None -> true
+      | None, Some _ -> false)
+
+let prop_plan_valid =
+  QCheck.Test.make ~count ~name:"convergecast: extracted plan is a valid schedule"
+    instance_arb (fun ((n, _, _) as inst) ->
+      let s = sequence_of inst in
+      match Convergecast.plan ~n ~sink:0 s ~start:0 with
+      | None -> QCheck.assume_fail ()
+      | Some plan ->
+          let ok = ref true in
+          let used = Hashtbl.create 16 in
+          for v = 1 to n - 1 do
+            let t = plan.fire_time.(v) in
+            if t < 0 then ok := false
+            else begin
+              if Hashtbl.mem used t then ok := false;
+              Hashtbl.replace used t ();
+              let i = Sequence.get s t in
+              if not (Interaction.involves i v) then ok := false;
+              let target = plan.fire_to.(v) in
+              if target <> Interaction.other i v then ok := false;
+              if target <> 0 && plan.fire_time.(target) <= t then ok := false
+            end
+          done;
+          !ok)
+
+let prop_engine_conservation =
+  QCheck.Test.make ~count ~name:"engine: transmissions = n - owners, senders unique"
+    instance_arb (fun ((n, len, _) as inst) ->
+      let s = sequence_of inst in
+      let sched = Schedule.of_sequence ~n ~sink:0 s in
+      ignore len;
+      let r = Engine.run Algorithms.gathering sched in
+      let owners = Engine.count_owners r in
+      let senders = List.map (fun t -> t.Engine.sender) r.transmissions in
+      List.length r.transmissions = n - owners
+      && List.length (List.sort_uniq compare senders) = List.length senders
+      && (not (List.mem 0 senders))
+      && r.holders.(0))
+
+let prop_engine_termination_iff_sink_only =
+  QCheck.Test.make ~count ~name:"engine: All_aggregated iff only the sink owns"
+    instance_arb (fun ((n, _, _) as inst) ->
+      let s = sequence_of inst in
+      let sched = Schedule.of_sequence ~n ~sink:0 s in
+      let r = Engine.run Algorithms.gathering sched in
+      (r.stop = Engine.All_aggregated) = (Engine.count_owners r = 1))
+
+let prop_full_knowledge_cost_one =
+  QCheck.Test.make ~count:150 ~name:"cost: full knowledge has cost 1 when feasible"
+    instance_arb (fun ((n, _, _) as inst) ->
+      let s = sequence_of inst in
+      QCheck.assume (Convergecast.opt ~n ~sink:0 s 0 <> None);
+      let sched = Schedule.of_sequence ~n ~sink:0 s in
+      let r = Engine.run Algorithms.full_knowledge sched in
+      Cost.equal (Cost.of_result ~n ~sink:0 s r) (Cost.Finite 1))
+
+let prop_cost_never_below_one =
+  QCheck.Test.make ~count ~name:"cost: any terminating run costs at least 1"
+    instance_arb (fun ((n, _, _) as inst) ->
+      let s = sequence_of inst in
+      let sched = Schedule.of_sequence ~n ~sink:0 s in
+      let r = Engine.run Algorithms.gathering sched in
+      match r.duration with
+      | None -> QCheck.assume_fail ()
+      | Some _ -> Cost.to_float (Cost.of_result ~n ~sink:0 s r) >= 1.0)
+
+let prop_t_chain_matches_opt_iteration =
+  QCheck.Test.make ~count ~name:"cost: t_chain is the iterated opt" instance_arb
+    (fun ((n, _, _) as inst) ->
+      let s = sequence_of inst in
+      let chain = Convergecast.t_chain ~n ~sink:0 s in
+      let rec verify start = function
+        | [] -> Convergecast.opt ~n ~sink:0 s start = None
+        | t :: rest ->
+            Convergecast.opt ~n ~sink:0 s start = Some t && verify (t + 1) rest
+      in
+      verify 0 chain)
+
+let prop_spanning_tree_structure =
+  QCheck.Test.make ~count ~name:"spanning tree: parents point one level up"
+    QCheck.(pair (int_range 2 40) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Prng.create seed in
+      let g = Graph_gen.random_connected rng ~n ~extra_edges:(n / 2) in
+      let t = Spanning_tree.bfs_tree g ~root:0 in
+      let ok = ref true in
+      for v = 1 to n - 1 do
+        let p = Spanning_tree.parent t v in
+        if not (Static_graph.has_edge g p v) then ok := false;
+        if Spanning_tree.depth t v <> Spanning_tree.depth t p + 1 then ok := false
+      done;
+      !ok && Static_graph.is_tree (Spanning_tree.to_graph t))
+
+let prop_broadcast_convergecast_duality =
+  QCheck.Test.make ~count ~name:"duality: convergecast feasible iff reverse broadcast"
+    instance_arb (fun ((n, len, _) as inst) ->
+      let s = sequence_of inst in
+      (* Forward broadcast completion on the reversed sequence equals a
+         feasible convergecast window on the original. *)
+      let rev = Sequence.rev s in
+      let forward = Temporal.broadcast_completion ~n ~src:0 rev in
+      let feasible = Convergecast.opt ~n ~sink:0 s 0 <> None in
+      (forward <> None)
+      = (feasible
+        &&
+        (* Broadcast on the whole reversed sequence succeeding says a
+           convergecast fits somewhere in the whole window. *)
+        Convergecast.feasible ~n ~sink:0 s ~lo:0 ~hi:(len - 1)))
+
+let prop_schedule_meet_time_sound =
+  QCheck.Test.make ~count ~name:"schedule: meet times point at sink interactions"
+    instance_arb (fun ((n, len, _) as inst) ->
+      let s = sequence_of inst in
+      let sched = Schedule.of_sequence ~n ~sink:0 s in
+      let ok = ref true in
+      for node = 1 to n - 1 do
+        match Schedule.next_meet_with_sink sched ~node ~after:(-1) ~limit:(len - 1) with
+        | None -> ()
+        | Some t ->
+            let i = Sequence.get s t in
+            if not (Interaction.involves i node && Interaction.involves i 0) then
+              ok := false
+      done;
+      !ok)
+
+let prop_stepper_equals_run =
+  QCheck.Test.make ~count ~name:"engine: stepping equals running" instance_arb
+    (fun ((n, _, _) as inst) ->
+      let s = sequence_of inst in
+      let r1 = Engine.run Algorithms.gathering (Schedule.of_sequence ~n ~sink:0 s) in
+      let st = Engine.start Algorithms.gathering (Schedule.of_sequence ~n ~sink:0 s) in
+      let rec drive () =
+        match Engine.step st with
+        | Engine.Finished reason -> Engine.finish st reason
+        | Engine.Stepped _ -> drive ()
+      in
+      let r2 = drive () in
+      r1.duration = r2.duration
+      && r1.transmissions = r2.transmissions
+      && r1.stop = r2.stop)
+
+let prop_engine_runs_validate =
+  QCheck.Test.make ~count ~name:"validate: every engine log passes" instance_arb
+    (fun ((n, _, _) as inst) ->
+      let s = sequence_of inst in
+      let check algo =
+        let r = Engine.run algo (Schedule.of_sequence ~n ~sink:0 s) in
+        Doda_core.Validate.execution ~n ~sink:0 s r.transmissions = []
+        && (r.stop <> Engine.All_aggregated
+           || Doda_core.Validate.complete ~n ~sink:0 s r.transmissions)
+      in
+      List.for_all check
+        (Algorithms.gathering :: Algorithms.waiting
+        :: Doda_core.Gathering_variants.all))
+
+let prop_plans_validate =
+  QCheck.Test.make ~count ~name:"validate: every extracted plan passes" instance_arb
+    (fun ((n, _, _) as inst) ->
+      let s = sequence_of inst in
+      match Convergecast.plan ~n ~sink:0 s ~start:0 with
+      | None -> QCheck.assume_fail ()
+      | Some plan -> Doda_core.Validate.plan ~n ~sink:0 s plan = [])
+
+let prop_exact_mean_finite_and_positive =
+  QCheck.Test.make ~count ~name:"exact: phase means are positive and ordered"
+    QCheck.(int_range 3 80)
+    (fun n ->
+      let module G = Doda_stats.Geometric_sum in
+      let w = G.mean (Doda_core.Theory.waiting_phases n) in
+      let g = G.mean (Doda_core.Theory.gathering_phases n) in
+      let b = G.mean (Doda_core.Theory.broadcast_phases n) in
+      (* broadcast <= gathering <= waiting, all positive *)
+      b > 0.0 && b <= g && g <= w)
+
+let prop_metrics_activity_conserved =
+  QCheck.Test.make ~count ~name:"metrics: activity sums to twice the length"
+    instance_arb (fun ((n, len, _) as inst) ->
+      let s = sequence_of inst in
+      let counts = Doda_dynamic.Metrics.activity ~n s in
+      Array.fold_left ( + ) 0 counts = 2 * len)
+
+let prop_evolving_roundtrip =
+  QCheck.Test.make ~count ~name:"evolving graph: window=1 roundtrips" instance_arb
+    (fun ((n, _, _) as inst) ->
+      let s = sequence_of inst in
+      let eg = Doda_dynamic.Evolving_graph.of_interactions ~n ~window:1 s in
+      Sequence.equal s (Doda_dynamic.Evolving_graph.to_interactions eg))
+
+let prop_cost_boundary_exact =
+  QCheck.Test.make ~count ~name:"cost: duration exactly T(i) costs i" instance_arb
+    (fun ((n, _, _) as inst) ->
+      let s = sequence_of inst in
+      let chain = Convergecast.t_chain ~n ~sink:0 s in
+      List.for_all
+        (fun (i, ending) ->
+          Cost.cost ~n ~sink:0 s ~duration:(Some ending) = Cost.Finite i)
+        (List.mapi (fun idx ending -> (idx + 1, ending)) chain))
+
+let prop_waiting_equals_coin_p1 =
+  QCheck.Test.make ~count ~name:"waiting equals coin-waiting(p=1)" instance_arb
+    (fun ((n, _, seed) as inst) ->
+      let s = sequence_of inst in
+      let master = Prng.create seed in
+      let run algo = Engine.run algo (Schedule.of_sequence ~n ~sink:0 s) in
+      let r1 = run Algorithms.waiting in
+      let r2 = run (Doda_core.Coin_algorithms.coin_waiting master ~p:1.0) in
+      r1.duration = r2.duration && r1.transmissions = r2.transmissions)
+
+let prop_recurrent_subset_of_underlying =
+  QCheck.Test.make ~count ~name:"recurrent edges are a subset of the underlying graph"
+    instance_arb (fun ((n, len, _) as inst) ->
+      let s = sequence_of inst in
+      let g = Underlying.of_sequence ~n s in
+      let r = Underlying.recurrent_edges ~n s ~period:(Stdlib.max 1 (len / 2)) in
+      List.for_all
+        (fun (u, v) -> Static_graph.has_edge g u v)
+        (Static_graph.edges r))
+
+let prop_sink_meeting_counts_agree =
+  QCheck.Test.make ~count
+    ~name:"schedule sink-meeting counts agree with metrics" instance_arb
+    (fun ((n, len, _) as inst) ->
+      let s = sequence_of inst in
+      let sched = Schedule.of_sequence ~n ~sink:0 s in
+      let counts = Schedule.meets_with_sink_upto sched len in
+      let times = Doda_dynamic.Metrics.sink_meeting_times s ~sink:0 in
+      counts.(0) = List.length times)
+
+let prop_post_order_is_permutation =
+  QCheck.Test.make ~count ~name:"spanning tree: post order is a permutation"
+    QCheck.(pair (int_range 2 40) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Prng.create seed in
+      let g = Graph_gen.random_connected rng ~n ~extra_edges:(n / 3) in
+      let t = Spanning_tree.bfs_tree g ~root:0 in
+      let order = Spanning_tree.post_order t in
+      List.sort compare order = List.init n (fun i -> i)
+      && (match List.rev order with root :: _ -> root = 0 | [] -> false))
+
+let prop_timeline_shape =
+  QCheck.Test.make ~count ~name:"timeline: one row per node, fixed width"
+    instance_arb (fun ((n, _, _) as inst) ->
+      let s = sequence_of inst in
+      let r = Engine.run Algorithms.gathering (Schedule.of_sequence ~n ~sink:0 s) in
+      let width = 32 in
+      let out = Doda_sim.Timeline.render ~width ~n ~sink:0 r in
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' out)
+      in
+      List.length lines = n + 1
+      &&
+      (* every node row has the bracketed fixed-width shape *)
+      List.for_all
+        (fun line -> String.length line >= width + 2)
+        (List.tl lines))
+
+let prop_gathering_hash_conserves =
+  QCheck.Test.make ~count ~name:"variant runs obey conservation too" instance_arb
+    (fun ((n, _, _) as inst) ->
+      let s = sequence_of inst in
+      let algo = Doda_core.Gathering_variants.make Doda_core.Gathering_variants.Hash in
+      let r = Engine.run algo (Schedule.of_sequence ~n ~sink:0 s) in
+      List.length r.transmissions = n - Engine.count_owners r)
+
+let prop_flooding_equals_opt =
+  (* Epidemic aggregation completes exactly when the offline one-shot
+     optimum does: both are the time by which every node has a
+     time-respecting journey to the sink. Two independent
+     implementations of the same quantity. *)
+  QCheck.Test.make ~count ~name:"flooding completion equals offline opt"
+    instance_arb (fun ((n, _, _) as inst) ->
+      let s = sequence_of inst in
+      Doda_core.Flooding_aggregation.sink_completion ~n ~sink:0 s
+      = Convergecast.opt ~n ~sink:0 s 0)
+
+let prop_presence_roundtrip =
+  QCheck.Test.make ~count ~name:"presence: snapshots match declared intervals"
+    QCheck.(pair (int_range 2 10) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Prng.create seed in
+      let p =
+        Doda_dynamic.Presence.random rng ~n ~horizon:30 ~mean_up:3.0 ~mean_down:4.0
+      in
+      let ok = ref true in
+      for time = 0 to Doda_dynamic.Presence.span p - 1 do
+        let g = Doda_dynamic.Presence.snapshot p time in
+        for u = 0 to n - 1 do
+          for v = u + 1 to n - 1 do
+            if
+              Static_graph.has_edge g u v
+              <> Doda_dynamic.Presence.present p ~u ~v ~time
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let prop_theorem2_blocks_waiting =
+  (* Any valid (n, d) with l0 = 1 blocks Waiting: u_0 delivers at the
+     first interaction, and every other node's path to the sink in the
+     gadget runs through a spent node or never reaches it. *)
+  QCheck.Test.make ~count:100 ~name:"theorem 2 sequence blocks waiting for any valid d"
+    QCheck.(pair (int_range 4 12) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let d = 1 + (seed mod (n - 2)) in
+      let s =
+        Doda_adversary.Counterexamples.theorem2_sequence ~n ~l0:1 ~d ~periods:40
+      in
+      let r = Engine.run Algorithms.waiting (Schedule.of_sequence ~n ~sink:0 s) in
+      r.stop <> Engine.All_aggregated)
+
+let prop_spiteful_blocks_gathering =
+  QCheck.Test.make ~count:60 ~name:"spiteful blocks gathering at any n"
+    QCheck.(int_range 3 20)
+    (fun n ->
+      let adv = Doda_adversary.Spiteful.adversary ~n ~sink:0 in
+      let r, _ =
+        Doda_adversary.Duel.run ~max_steps:(50 * n * n) ~n ~sink:0
+          Algorithms.gathering adv
+      in
+      r.stop = Engine.Step_limit)
+
+let prop_alias_in_range =
+  QCheck.Test.make ~count ~name:"alias: samples stay in range"
+    QCheck.(pair (int_range 1 20) (int_range 0 1_000_000))
+    (fun (k, seed) ->
+      let rng = Prng.create seed in
+      let w = Array.init k (fun i -> float_of_int (i + 1)) in
+      let d = Prng.Alias.create w in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let i = Prng.Alias.sample rng d in
+        if i < 0 || i >= k then ok := false
+      done;
+      !ok)
+
+let () =
+  let to_alcotest = QCheck_alcotest.to_alcotest in
+  Alcotest.run "properties"
+    [
+      ( "model",
+        List.map to_alcotest
+          [
+            prop_interaction_symmetric;
+            prop_pair_ordered_distinct;
+            prop_sequence_rev_involutive;
+            prop_underlying_edges_exact;
+            prop_schedule_meet_time_sound;
+            prop_alias_in_range;
+          ] );
+      ( "temporal",
+        List.map to_alcotest
+          [ prop_flooding_monotone_in_horizon; prop_broadcast_convergecast_duality ] );
+      ( "convergecast",
+        List.map to_alcotest
+          [
+            prop_opt_matches_brute_force;
+            prop_opt_monotone_in_start;
+            prop_plan_valid;
+            prop_t_chain_matches_opt_iteration;
+          ] );
+      ( "engine",
+        List.map to_alcotest
+          [
+            prop_engine_conservation;
+            prop_engine_termination_iff_sink_only;
+            prop_stepper_equals_run;
+            prop_engine_runs_validate;
+            prop_plans_validate;
+          ] );
+      ( "exact",
+        List.map to_alcotest
+          [
+            prop_exact_mean_finite_and_positive;
+            prop_metrics_activity_conserved;
+            prop_evolving_roundtrip;
+          ] );
+      ( "cost",
+        List.map to_alcotest
+          [
+            prop_full_knowledge_cost_one;
+            prop_cost_never_below_one;
+            prop_cost_boundary_exact;
+          ] );
+      ( "graph",
+        List.map to_alcotest
+          [ prop_spanning_tree_structure; prop_post_order_is_permutation ] );
+      ( "adversary",
+        List.map to_alcotest
+          [ prop_theorem2_blocks_waiting; prop_spiteful_blocks_gathering ] );
+      ( "cross-module",
+        List.map to_alcotest
+          [
+            prop_flooding_equals_opt;
+            prop_presence_roundtrip;
+            prop_waiting_equals_coin_p1;
+            prop_recurrent_subset_of_underlying;
+            prop_sink_meeting_counts_agree;
+            prop_timeline_shape;
+            prop_gathering_hash_conserves;
+          ] );
+    ]

@@ -1,0 +1,238 @@
+(* Tests for the statistics substrate. *)
+
+module Descriptive = Doda_stats.Descriptive
+module Regression = Doda_stats.Regression
+module Histogram = Doda_stats.Histogram
+module Ci = Doda_stats.Ci
+module Prng = Doda_prng.Prng
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_mean_variance () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  feq "mean" 5.0 (Descriptive.mean xs);
+  feq "variance" (32.0 /. 7.0) (Descriptive.variance xs);
+  feq "stddev" (sqrt (32.0 /. 7.0)) (Descriptive.stddev xs)
+
+let test_single_sample () =
+  feq "variance of singleton" 0.0 (Descriptive.variance [| 3.0 |]);
+  feq "mean of singleton" 3.0 (Descriptive.mean [| 3.0 |])
+
+let test_empty_raises () =
+  Alcotest.check_raises "empty mean"
+    (Invalid_argument "Descriptive.mean: empty sample") (fun () ->
+      ignore (Descriptive.mean [||]))
+
+let test_quantiles () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  feq "median" 3.0 (Descriptive.median xs);
+  feq "q0" 1.0 (Descriptive.quantile xs 0.0);
+  feq "q1" 5.0 (Descriptive.quantile xs 1.0);
+  feq "q25" 2.0 (Descriptive.quantile xs 0.25);
+  (* interpolation *)
+  feq "q10" 1.4 (Descriptive.quantile xs 0.1)
+
+let test_quantile_unsorted_input () =
+  let xs = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  feq "median of unsorted" 3.0 (Descriptive.median xs);
+  (* input untouched *)
+  feq "input preserved" 5.0 xs.(0)
+
+let test_summary () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 100.0 |] in
+  let s = Descriptive.summarize xs in
+  Alcotest.(check int) "n" 5 s.n;
+  feq "min" 1.0 s.min;
+  feq "max" 100.0 s.max;
+  feq "median" 3.0 s.median;
+  feq "mean" 22.0 s.mean
+
+let test_linear_fit_exact () =
+  let points = Array.init 10 (fun i ->
+      let x = float_of_int i in
+      (x, (3.0 *. x) +. 2.0))
+  in
+  let fit = Regression.linear points in
+  feq "slope" 3.0 fit.slope;
+  feq "intercept" 2.0 fit.intercept;
+  feq "r2" 1.0 fit.r2
+
+let test_linear_fit_noisy () =
+  let rng = Prng.create 1 in
+  let points = Array.init 200 (fun i ->
+      let x = float_of_int i in
+      (x, (1.5 *. x) +. 10.0 +. Prng.float rng 1.0 -. 0.5))
+  in
+  let fit = Regression.linear points in
+  Alcotest.(check bool) "slope near 1.5" true (Float.abs (fit.slope -. 1.5) < 0.01);
+  Alcotest.(check bool) "good r2" true (fit.r2 > 0.999)
+
+let test_linear_requires_two_points () =
+  Alcotest.check_raises "one point"
+    (Invalid_argument "Regression.linear: need at least two points") (fun () ->
+      ignore (Regression.linear [| (1.0, 2.0) |]))
+
+let test_log_log_recovers_exponent () =
+  (* y = 5 n^2.5 must fit slope 2.5. *)
+  let points = Array.map (fun n ->
+      (n, 5.0 *. (n ** 2.5)))
+      [| 8.0; 16.0; 32.0; 64.0; 128.0 |]
+  in
+  let fit = Regression.log_log points in
+  Alcotest.(check bool) "exponent 2.5" true (Float.abs (fit.slope -. 2.5) < 1e-9);
+  feq "constant" (log 5.0) fit.intercept
+
+let test_log_log_rejects_nonpositive () =
+  Alcotest.check_raises "zero coordinate"
+    (Invalid_argument "Regression.log_log: coordinates must be positive") (fun () ->
+      ignore (Regression.log_log [| (0.0, 1.0); (1.0, 2.0) |]))
+
+let test_ratio_stability () =
+  let points = [| (10.0, 21.0); (20.0, 40.0); (40.0, 79.0) |] in
+  let mean, cv = Regression.ratio_stability points in
+  Alcotest.(check bool) "mean near 2" true (Float.abs (mean -. 2.0) < 0.05);
+  Alcotest.(check bool) "small cv" true (cv < 0.05)
+
+let test_histogram_counts () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 2.5; 3.5; 9.9; -1.0; 10.0 ];
+  Alcotest.(check int) "total" 7 (Histogram.count h);
+  Alcotest.(check int) "underflow" 1 (Histogram.underflow h);
+  Alcotest.(check int) "overflow" 1 (Histogram.overflow h);
+  Alcotest.(check int) "bin 0" 2 (Histogram.bin_count h 0);
+  Alcotest.(check int) "bin 1" 2 (Histogram.bin_count h 1);
+  Alcotest.(check int) "bin 4" 1 (Histogram.bin_count h 4)
+
+let test_histogram_of_samples () =
+  let xs = Array.init 100 (fun i -> float_of_int i) in
+  let h = Histogram.of_samples ~bins:10 xs in
+  Alcotest.(check int) "all counted" 100 (Histogram.count h);
+  Alcotest.(check int) "no outliers" 0 (Histogram.underflow h + Histogram.overflow h)
+
+let test_histogram_render () =
+  let h = Histogram.of_samples [| 1.0; 1.0; 2.0 |] in
+  let s = Histogram.render h in
+  Alcotest.(check bool) "has bars" true (String.length s > 0)
+
+module Geometric_sum = Doda_stats.Geometric_sum
+
+let test_geom_sum_single_phase () =
+  (* One geometric with p = 0.5: mean 2, variance 2, pmf(t) = 0.5^t. *)
+  let phases = [| 0.5 |] in
+  feq "mean" 2.0 (Geometric_sum.mean phases);
+  feq "variance" 2.0 (Geometric_sum.variance phases);
+  let pmf = Geometric_sum.pmf ~phases ~upto:10 in
+  feq "pmf 0" 0.0 pmf.(0);
+  feq "pmf 1" 0.5 pmf.(1);
+  feq "pmf 3" 0.125 pmf.(3)
+
+let test_geom_sum_pmf_mass_and_mean () =
+  let phases = [| 0.3; 0.7; 0.2 |] in
+  let upto = 200 in
+  let pmf = Geometric_sum.pmf ~phases ~upto in
+  let mass = Array.fold_left ( +. ) 0.0 pmf in
+  Alcotest.(check bool) "mass close to 1" true (mass > 0.999);
+  let mean_from_pmf = ref 0.0 in
+  Array.iteri (fun t p -> mean_from_pmf := !mean_from_pmf +. (float_of_int t *. p)) pmf;
+  Alcotest.(check bool) "pmf mean matches closed form" true
+    (Float.abs (!mean_from_pmf -. Geometric_sum.mean phases) < 0.05)
+
+let test_geom_sum_deterministic_phase () =
+  (* p = 1 phases are deterministic: the sum is exactly m. *)
+  let phases = [| 1.0; 1.0; 1.0 |] in
+  let pmf = Geometric_sum.pmf ~phases ~upto:5 in
+  feq "all mass at 3" 1.0 pmf.(3);
+  feq "mean 3" 3.0 (Geometric_sum.mean phases)
+
+let test_geom_sum_quantile () =
+  let phases = [| 0.5 |] in
+  let cdf = Geometric_sum.cdf_of_pmf (Geometric_sum.pmf ~phases ~upto:40) in
+  Alcotest.(check int) "median" 1 (Geometric_sum.quantile ~cdf 0.5);
+  Alcotest.(check int) "p75" 2 (Geometric_sum.quantile ~cdf 0.75);
+  Alcotest.check_raises "unreachable quantile"
+    (Invalid_argument "Geometric_sum.quantile: support too short for requested quantile")
+    (fun () ->
+      let tiny = Geometric_sum.cdf_of_pmf (Geometric_sum.pmf ~phases ~upto:0) in
+      ignore (Geometric_sum.quantile ~cdf:tiny 0.5))
+
+let test_geom_sum_rejects_bad_p () =
+  Alcotest.check_raises "zero p"
+    (Invalid_argument "Geometric_sum: probabilities must lie in (0, 1]") (fun () ->
+      ignore (Geometric_sum.mean [| 0.0 |]))
+
+let test_ks_distance () =
+  let phases = [| 1.0 |] in
+  let cdf = Geometric_sum.cdf_of_pmf (Geometric_sum.pmf ~phases ~upto:10) in
+  (* Perfect sample at the deterministic value: KS = 0. *)
+  feq "perfect" 0.0 (Geometric_sum.ks_distance ~cdf ~samples:[| 1.0; 1.0 |]);
+  (* A sample entirely at 5 has empirical CDF 0 below 5: KS = 1. *)
+  feq "worst" 1.0 (Geometric_sum.ks_distance ~cdf ~samples:[| 5.0 |])
+
+let test_normal_ci_contains_mean () =
+  let xs = Array.init 100 (fun i -> float_of_int (i mod 10)) in
+  let iv = Ci.normal_mean xs in
+  Alcotest.(check bool) "center is mean" true
+    (Float.abs (iv.center -. Descriptive.mean xs) < 1e-9);
+  Alcotest.(check bool) "contains center" true (Ci.contains iv iv.center);
+  Alcotest.(check bool) "ordered" true (iv.lower <= iv.upper)
+
+let test_bootstrap_ci_reasonable () =
+  let rng = Prng.create 5 in
+  let xs = Array.init 200 (fun _ -> 10.0 +. Prng.float rng 2.0) in
+  let iv = Ci.bootstrap_mean rng xs in
+  Alcotest.(check bool) "contains 11" true (Ci.contains iv 11.0);
+  Alcotest.(check bool) "narrow" true (iv.upper -. iv.lower < 0.5)
+
+let test_wider_confidence_wider_interval () =
+  let xs = Array.init 50 (fun i -> float_of_int i) in
+  let iv95 = Ci.normal_mean ~confidence:0.95 xs in
+  let iv99 = Ci.normal_mean ~confidence:0.99 xs in
+  Alcotest.(check bool) "99 wider than 95" true
+    (iv99.upper -. iv99.lower > iv95.upper -. iv95.lower)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "descriptive",
+        [
+          Alcotest.test_case "mean variance" `Quick test_mean_variance;
+          Alcotest.test_case "single sample" `Quick test_single_sample;
+          Alcotest.test_case "empty raises" `Quick test_empty_raises;
+          Alcotest.test_case "quantiles" `Quick test_quantiles;
+          Alcotest.test_case "quantile unsorted" `Quick test_quantile_unsorted_input;
+          Alcotest.test_case "summary" `Quick test_summary;
+        ] );
+      ( "regression",
+        [
+          Alcotest.test_case "linear exact" `Quick test_linear_fit_exact;
+          Alcotest.test_case "linear noisy" `Quick test_linear_fit_noisy;
+          Alcotest.test_case "needs two points" `Quick test_linear_requires_two_points;
+          Alcotest.test_case "log-log exponent" `Quick test_log_log_recovers_exponent;
+          Alcotest.test_case "log-log rejects nonpositive" `Quick
+            test_log_log_rejects_nonpositive;
+          Alcotest.test_case "ratio stability" `Quick test_ratio_stability;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "counts" `Quick test_histogram_counts;
+          Alcotest.test_case "of samples" `Quick test_histogram_of_samples;
+          Alcotest.test_case "render" `Quick test_histogram_render;
+        ] );
+      ( "geometric-sum",
+        [
+          Alcotest.test_case "single phase" `Quick test_geom_sum_single_phase;
+          Alcotest.test_case "pmf mass and mean" `Quick test_geom_sum_pmf_mass_and_mean;
+          Alcotest.test_case "deterministic phases" `Quick
+            test_geom_sum_deterministic_phase;
+          Alcotest.test_case "quantile" `Quick test_geom_sum_quantile;
+          Alcotest.test_case "rejects bad p" `Quick test_geom_sum_rejects_bad_p;
+          Alcotest.test_case "ks distance" `Quick test_ks_distance;
+        ] );
+      ( "ci",
+        [
+          Alcotest.test_case "normal contains mean" `Quick test_normal_ci_contains_mean;
+          Alcotest.test_case "bootstrap reasonable" `Quick test_bootstrap_ci_reasonable;
+          Alcotest.test_case "confidence widens" `Quick
+            test_wider_confidence_wider_interval;
+        ] );
+    ]
