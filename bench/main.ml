@@ -5,9 +5,19 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- e4 e6   # selected experiments
      dune exec bench/main.exe -- micro   # only the micro-benchmarks
+     dune exec bench/main.exe -- --jobs 4 e4   # 4 domains
 
    Numbers are means over replications with a fixed master seed, so
-   output is reproducible run to run. *)
+   output is reproducible run to run. Replications run in parallel on
+   a domain pool (--jobs N / -j N, or the DODA_JOBS environment
+   variable; default Domain.recommended_domain_count). Seeds are
+   pre-split sequentially on the main domain, so every table is
+   bit-identical whatever the job count.
+
+   Besides the tables (and their CSV mirrors under DODA_BENCH_CSV), a
+   machine-readable archive of everything measured — per-experiment
+   wall-clock plus every table — is written to BENCH_results.json
+   (path overridable via DODA_BENCH_JSON; set it empty to disable). *)
 
 module Prng = Doda_prng.Prng
 module Descriptive = Doda_stats.Descriptive
@@ -39,20 +49,45 @@ let sweep_ns = [ 32; 64; 128; 256 ]
 let header title body =
   Printf.printf "\n=== %s ===\n%s\n" title body
 
+(* ------------------------------------------------------------------ *)
+(* Parallel replication: one shared domain pool, sized by --jobs /
+   DODA_JOBS, created lazily after argument parsing. Seeds are
+   pre-split sequentially by Experiment.replicate_par, so results are
+   bit-identical to the sequential harness at any job count. *)
+
+module Pool = Doda_sim.Pool
+
+let jobs =
+  ref
+    (try Pool.default_jobs ()
+     with Invalid_argument msg ->
+       prerr_endline msg;
+       exit 1)
+let pool = lazy (Pool.create ~jobs:!jobs)
+
+let replicate ~replications ~seed f =
+  Experiment.replicate_par ~pool:(Lazy.force pool) ~replications ~seed f
+
 (* With DODA_BENCH_CSV=<dir> in the environment, every printed table is
-   also archived as CSV under that directory. *)
-let csv_dir = Sys.getenv_opt "DODA_BENCH_CSV"
+   also archived as CSV under that directory (empty value: disabled). *)
+let csv_dir =
+  match Sys.getenv_opt "DODA_BENCH_CSV" with Some "" -> None | d -> d
 
 let csv_counter = ref 0
 
+(* Tables printed by the experiment currently running, for the JSON
+   archive. *)
+let current_tables : (string * Table.t) list ref = ref []
+
 let print_table ?name table =
   Table.print table;
+  let base = match name with Some n -> n | None -> "table" in
+  current_tables := (base, table) :: !current_tables;
   match csv_dir with
   | None -> ()
   | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Doda_sim.Csv.mkdir_p dir;
       incr csv_counter;
-      let base = match name with Some n -> n | None -> "table" in
       let path = Filename.concat dir (Printf.sprintf "%02d_%s.csv" !csv_counter base) in
       Doda_sim.Csv.write path ~header:(Table.header_row table) (Table.rows table);
       Printf.printf "[csv written to %s]\n" path
@@ -64,11 +99,14 @@ let mean_stderr samples =
   (Descriptive.mean samples, Descriptive.std_error samples)
 
 (* Durations (interactions to completion) of replicated runs of [algo]
-   against the uniform randomized adversary. *)
-let uniform_runs ?(reps = replications) ?(seed = master_seed) ~n algo =
-  Experiment.replicate ~replications:reps ~seed (fun rng ->
+   against the uniform randomized adversary. Most consumers only read
+   durations, so transmission logging is off by default; experiments
+   that inspect the log (E1, LATENCY) pass ~record:`All. *)
+let uniform_runs ?(record = `Count) ?(reps = replications) ?(seed = master_seed)
+    ~n algo =
+  replicate ~replications:reps ~seed (fun rng ->
       let sched = Randomized.uniform_schedule rng ~n ~sink:0 in
-      Engine.run ~max_steps:((200 * n * n) + 10_000) algo sched)
+      Engine.run ~record ~max_steps:((200 * n * n) + 10_000) algo sched)
 
 let durations results =
   Array.of_list
@@ -86,7 +124,7 @@ let e1 () =
   let t = Table.create ~header:[ "n"; "last-wait mean"; "stderr"; "n(n-1)/2"; "ratio" ] in
   List.iter
     (fun n ->
-      let results = uniform_runs ~n Algorithms.gathering in
+      let results = uniform_runs ~record:`All ~n Algorithms.gathering in
       let waits =
         Array.of_list
           (List.filter_map
@@ -121,7 +159,7 @@ let e2 () =
     (fun n ->
       let horizon = 60 * n * (1 + int_of_float (log (float_of_int n))) in
       let pairs =
-        Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+        replicate ~replications ~seed:master_seed (fun rng ->
             let s = Generators.uniform_sequence rng ~n ~length:horizon in
             let b = Temporal.broadcast_completion ~n ~src:0 s in
             let c = Convergecast.opt ~n ~sink:0 s 0 in
@@ -211,7 +249,7 @@ let e5 () =
   List.iter
     (fun k ->
       let samples =
-        Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+        replicate ~replications ~seed:master_seed (fun rng ->
             let met = Array.make n false in
             let distinct = ref 0 in
             let steps = ref 0 in
@@ -251,9 +289,9 @@ let e6 () =
     (fun n ->
       let tau = Theory.recommended_tau n in
       let results =
-        Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+        replicate ~replications ~seed:master_seed (fun rng ->
             let sched = Randomized.uniform_schedule rng ~n ~sink:0 in
-            Engine.run ~max_steps:(8 * tau) (Algorithms.waiting_greedy ~tau) sched)
+            Engine.run ~record:`Count ~max_steps:(8 * tau) (Algorithms.waiting_greedy ~tau) sched)
       in
       let samples = durations results in
       let m, se = mean_stderr samples in
@@ -280,9 +318,9 @@ let e6 () =
       let f = c *. sqrt (float_of_int n *. log (float_of_int n)) in
       let tau = Theory.tau_for_f ~n ~f in
       let results =
-        Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+        replicate ~replications ~seed:master_seed (fun rng ->
             let sched = Randomized.uniform_schedule rng ~n ~sink:0 in
-            Engine.run ~max_steps:(40 * n * n) (Algorithms.waiting_greedy ~tau) sched)
+            Engine.run ~record:`Count ~max_steps:(40 * n * n) (Algorithms.waiting_greedy ~tau) sched)
       in
       let samples = durations results in
       let m, se = mean_stderr samples in
@@ -297,11 +335,11 @@ let e6 () =
   let tau = Theory.recommended_tau n in
   let t3 = Table.create ~header:[ "oracle"; "interactions"; "stderr" ] in
   let run_mode exact =
-    Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+    replicate ~replications ~seed:master_seed (fun rng ->
         let len = 8 * tau in
         let s = Generators.uniform_sequence rng ~n ~length:len in
         let sched = Schedule.of_sequence ~n ~sink:0 s in
-        Engine.run (Waiting_greedy.make ~exact ~tau ()) sched)
+        Engine.run ~record:`Count (Waiting_greedy.make ~exact ~tau ()) sched)
   in
   List.iter
     (fun (label, exact) ->
@@ -409,7 +447,7 @@ let e9 () =
   List.iter
     (fun (label, g) ->
       let runs =
-        Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+        replicate ~replications ~seed:master_seed (fun rng ->
             let len = 200 * n * Static_graph.edge_count g in
             let s =
               Sequence.of_array (Array.init len (Generators.over_graph rng g))
@@ -459,7 +497,7 @@ let e10 () =
   List.iter
     (fun n ->
       let runs =
-        Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+        replicate ~replications ~seed:master_seed (fun rng ->
             let len = 40 * n * (1 + int_of_float (log (float_of_int n))) in
             let s = Generators.uniform_sequence rng ~n ~length:len in
             let sched = Schedule.of_sequence ~n ~sink:0 s in
@@ -498,9 +536,9 @@ let e10 () =
     (fun w ->
       let measure algo =
         let results =
-          Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+          replicate ~replications ~seed:master_seed (fun rng ->
               let sched = Randomized.sink_biased_schedule rng ~n ~sink:0 ~sink_weight:w in
-              Engine.run ~max_steps:((400 * n * n) + 10_000) algo sched)
+              Engine.run ~record:`Count ~max_steps:((400 * n * n) + 10_000) algo sched)
         in
         Descriptive.mean (durations results)
       in
@@ -531,7 +569,7 @@ let lemmas () =
     (fun n ->
       let tau = Theory.recommended_tau n in
       let stats =
-        Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+        replicate ~replications ~seed:master_seed (fun rng ->
             let sched = Randomized.uniform_schedule rng ~n ~sink:0 in
             let r =
               Engine.run ~max_steps:(8 * tau) (Algorithms.waiting_greedy ~tau) sched
@@ -609,7 +647,7 @@ let knowledge () =
     (fun (label, gen_of) ->
       let horizon = 40 * n * n in
       let traces =
-        Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+        replicate ~replications ~seed:master_seed (fun rng ->
             Sequence.of_array (Array.init horizon (gen_of rng)))
       in
       let cells =
@@ -619,7 +657,7 @@ let knowledge () =
               Array.to_list traces
               |> List.filter_map (fun s ->
                      let sched = Schedule.of_sequence ~n ~sink:0 s in
-                     match (Engine.run algo sched).Engine.duration with
+                     match (Engine.run ~record:`Count algo sched).Engine.duration with
                      | Some d -> Some (float_of_int (d + 1))
                      | None -> None)
               |> Array.of_list
@@ -649,7 +687,7 @@ let latency () =
   in
   List.iter
     (fun algo ->
-      let runs = uniform_runs ~n algo in
+      let runs = uniform_runs ~record:`All ~n algo in
       let terminations = durations runs in
       let deliveries = ref [] and maxhops = ref [] and meanhops = ref [] in
       Array.iter
@@ -750,12 +788,12 @@ let exact () =
   in
   let simulate algo =
     durations
-      (Experiment.replicate ~replications:reps ~seed:master_seed (fun rng ->
+      (replicate ~replications:reps ~seed:master_seed (fun rng ->
            let sched = Randomized.uniform_schedule rng ~n ~sink:0 in
-           Engine.run ~max_steps:(400 * n * n) algo sched))
+           Engine.run ~record:`Count ~max_steps:(400 * n * n) algo sched))
   in
   let broadcast_samples =
-    Experiment.replicate ~replications:reps ~seed:master_seed (fun rng ->
+    replicate ~replications:reps ~seed:master_seed (fun rng ->
         let horizon = 200 * n in
         let s = Generators.uniform_sequence rng ~n ~length:horizon in
         match Temporal.broadcast_completion ~n ~src:0 s with
@@ -830,12 +868,12 @@ let variants () =
       in
       let samples =
         durations
-          (Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+          (replicate ~replications ~seed:master_seed (fun rng ->
                let sched =
                  Schedule.of_fun ~n ~sink:0 (Generators.over_graph rng g)
                in
                let k = Knowledge.with_underlying g Knowledge.empty in
-               Engine.run ~knowledge:k ~max_steps:(2000 * n) algo sched))
+               Engine.run ~record:`Count ~knowledge:k ~max_steps:(2000 * n) algo sched))
       in
       let m, se = mean_stderr samples in
       Table.add_row t2 [ label; string_of_int depth; fmt m; fmt se ])
@@ -938,7 +976,7 @@ let price () =
   List.iter
     (fun n ->
       let triples =
-        Experiment.replicate ~replications ~seed:master_seed (fun rng ->
+        replicate ~replications ~seed:master_seed (fun rng ->
             let len = 60 * n * (1 + int_of_float (log (float_of_int n))) in
             let s = Generators.uniform_sequence rng ~n ~length:len in
             let flood =
@@ -947,7 +985,7 @@ let price () =
             let opt = Convergecast.opt ~n ~sink:0 s 0 in
             let sched = Schedule.of_sequence ~n ~sink:0 s in
             let gather =
-              (Engine.run ~max_steps:(400 * n * n) Algorithms.gathering
+              (Engine.run ~record:`Count ~max_steps:(400 * n * n) Algorithms.gathering
                  (Randomized.uniform_schedule
                     (Prng.split rng) ~n ~sink:0))
                 .Engine.duration
@@ -989,10 +1027,11 @@ let mixed () =
     (fun q ->
       let measure algo =
         let outcomes =
-          Experiment.replicate ~replications ~seed:master_seed (fun rng ->
-              let adv = Doda_adversary.Mixed.adversary rng ~n ~sink:0 ~q in
-              let r, _ = Duel.run ~max_steps:horizon ~n ~sink:0 algo adv in
-              r.Engine.duration)
+          Array.map
+            (fun ((r : Engine.result), _) -> r.Engine.duration)
+            (Experiment.replicate_duels ~pool:(Lazy.force pool) ~replications
+               ~seed:master_seed ~max_steps:horizon ~n ~sink:0 algo
+               (fun rng -> Doda_adversary.Mixed.adversary rng ~n ~sink:0 ~q))
         in
         let finished = Array.to_list outcomes |> List.filter_map Fun.id in
         let mean =
@@ -1044,7 +1083,7 @@ let micro () =
         (Staged.stage (fun () ->
              let rng = Prng.create 77 in
              let sched = Randomized.uniform_schedule rng ~n ~sink:0 in
-             ignore (Engine.run ~max_steps:(40 * n * n) Algorithms.gathering sched)));
+             ignore (Engine.run ~record:`Count ~max_steps:(40 * n * n) Algorithms.gathering sched)));
     ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
@@ -1080,18 +1119,86 @@ let all_experiments =
     ("policies", policies); ("micro", micro);
   ]
 
-let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all_experiments
+(* Machine-readable archive: per-experiment wall clock plus every table
+   printed, so future changes have a perf and correctness trajectory to
+   compare against. *)
+let json_path =
+  match Sys.getenv_opt "DODA_BENCH_JSON" with
+  | Some "" -> None
+  | Some p -> Some p
+  | None -> Some "BENCH_results.json"
+
+let write_json path results =
+  let module Json = Doda_sim.Json in
+  let strings cells = Json.List (List.map (fun c -> Json.String c) cells) in
+  let table_json (tname, t) =
+    Json.Obj
+      [
+        ("name", Json.String tname);
+        ("header", strings (Table.header_row t));
+        ("rows", Json.List (List.map strings (Table.rows t)));
+      ]
   in
+  let experiments =
+    List.map
+      (fun (name, wall, tables) ->
+        Json.Obj
+          [
+            ("name", Json.String name);
+            ("wall_clock_s", Json.Float wall);
+            ("tables", Json.List (List.map table_json tables));
+          ])
+      results
+  in
+  Json.write path
+    (Json.Obj
+       [
+         ("schema", Json.Int 1);
+         ("jobs", Json.Int !jobs);
+         ("seed", Json.Int master_seed);
+         ("replications", Json.Int replications);
+         ("experiments", Json.List experiments);
+       ]);
+  Printf.printf "\n[bench results written to %s]\n" path
+
+let () =
+  let set_jobs v =
+    match Pool.parse_jobs v with
+    | Some j -> jobs := j
+    | None ->
+        Printf.eprintf "--jobs needs a positive integer, got %S\n" v;
+        exit 1
+  in
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | ("--jobs" | "-j") :: v :: rest ->
+        set_jobs v;
+        parse_args acc rest
+    | arg :: rest when String.starts_with ~prefix:"--jobs=" arg ->
+        set_jobs (String.sub arg 7 (String.length arg - 7));
+        parse_args acc rest
+    | name :: rest -> parse_args (name :: acc) rest
+  in
+  let named = parse_args [] (List.tl (Array.to_list Sys.argv)) in
+  let requested =
+    match named with [] -> List.map fst all_experiments | names -> names
+  in
+  let results = ref [] in
   List.iter
     (fun name ->
       match List.assoc_opt (String.lowercase_ascii name) all_experiments with
-      | Some run -> run ()
+      | Some run ->
+          current_tables := [];
+          let t0 = Unix.gettimeofday () in
+          run ();
+          let elapsed = Unix.gettimeofday () -. t0 in
+          results := (name, elapsed, List.rev !current_tables) :: !results
       | None ->
           Printf.eprintf "unknown experiment %S; known: %s\n" name
             (String.concat ", " (List.map fst all_experiments));
           exit 1)
-    requested
+    requested;
+  (match json_path with
+  | None -> ()
+  | Some path -> write_json path (List.rev !results));
+  if Lazy.is_val pool then Pool.shutdown (Lazy.force pool)

@@ -163,14 +163,22 @@ let duel_cmd =
 (* doda sweep                                                          *)
 
 let sweep_cmd =
-  let sweep algo_name ns reps seed source csv =
+  let sweep algo_name ns reps seed source csv jobs =
+    if jobs < 1 then begin
+      Printf.eprintf "--jobs must be >= 1, got %d\n" jobs;
+      exit 2
+    end;
     let t = Table.create ~header:[ "n"; "mean"; "stderr"; "success" ] in
+    (* One pool for the whole sweep. Seeds are pre-split sequentially
+       (Experiment.replicate_par), so the table is identical whatever
+       --jobs is. *)
+    Doda_sim.Pool.with_pool ~jobs @@ fun pool ->
     let points =
       List.map
         (fun n ->
           let algo = find_algo algo_name n in
           let m =
-            Experiment.run_schedule_factory ~replications:reps ~seed
+            Experiment.run_schedule_factory ~pool ~replications:reps ~seed
               ~max_steps:((400 * n * n) + 10_000)
               ~label:algo.Doda_core.Algorithm.name ~n
               (fun rng ->
@@ -217,8 +225,24 @@ let sweep_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the table as CSV.")
   in
+  let default_jobs =
+    try Doda_sim.Pool.default_jobs ()
+    with Invalid_argument msg ->
+      prerr_endline msg;
+      exit 1
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int default_jobs
+      & info [ "j"; "jobs" ] ~docv:"JOBS"
+          ~doc:
+            "Worker domains for the replications (default: \\$(b,DODA_JOBS) or \
+             the recommended domain count). Results are identical at any job \
+             count.")
+  in
   let term =
-    Term.(const sweep $ algo_arg $ ns $ reps $ seed_arg $ source_arg $ csv)
+    Term.(const sweep $ algo_arg $ ns $ reps $ seed_arg $ source_arg $ csv $ jobs)
   in
   Cmd.v
     (Cmd.info "sweep"

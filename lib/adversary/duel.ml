@@ -11,6 +11,7 @@ let run ?(knowledge = Doda_core.Knowledge.empty) ~max_steps ~n ~sink
   let holds = Array.make n true in
   let owners = ref n in
   let transmissions = ref [] in
+  let tx_count = ref 0 in
   let last : Engine.transmission option ref = ref None in
   let played = ref [] in
   let steps = ref 0 in
@@ -47,6 +48,7 @@ let run ?(knowledge = Doda_core.Knowledge.empty) ~max_steps ~n ~sink
                 decr owners;
                 let tr = { Engine.time = t; sender; receiver } in
                 transmissions := tr :: !transmissions;
+                incr tx_count;
                 last := Some tr
           end;
           incr steps
@@ -65,6 +67,7 @@ let run ?(knowledge = Doda_core.Knowledge.empty) ~max_steps ~n ~sink
       duration;
       steps = !steps;
       transmissions = List.rev !transmissions;
+      transmission_count = !tx_count;
       holders = holds;
     }
   in

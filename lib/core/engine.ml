@@ -10,6 +10,7 @@ type result = {
   duration : int option;
   steps : int;
   transmissions : transmission list;
+  transmission_count : int;
   holders : bool array;
 }
 
@@ -18,14 +19,16 @@ type state = {
   schedule : Schedule.t;
   instance : Algorithm.instance;
   sink : int;
+  record_log : bool;
   holds : bool array;
   mutable owner_count : int;
   mutable clock : int;
   mutable log : transmission list;  (* reverse chronological *)
+  mutable tx_count : int;
   mutable last_time : int;
 }
 
-let start ?knowledge (algo : Algorithm.t) schedule =
+let start ?knowledge ?(record = `All) (algo : Algorithm.t) schedule =
   let n = Schedule.n schedule in
   let sink = Schedule.sink schedule in
   let knowledge =
@@ -39,14 +42,33 @@ let start ?knowledge (algo : Algorithm.t) schedule =
     schedule;
     instance = algo.make ~n ~sink knowledge;
     sink;
+    record_log = (record = `All);
     holds = Array.make n true;
     owner_count = n;
     clock = 0;
     log = [];
+    tx_count = 0;
     last_time = -1;
   }
 
 type step_outcome = Stepped of transmission option | Finished of stop_reason
+
+(* Shared model enforcement: validate the algorithm's decision and
+   commit the transmission at time [t]. *)
+let commit st ~t ~i receiver =
+  if not (Interaction.involves i receiver) then
+    invalid_arg
+      (Printf.sprintf "Engine.step: %s returned a non-endpoint receiver"
+         st.algo_name);
+  let sender = Interaction.other i receiver in
+  if sender = st.sink then
+    invalid_arg
+      (Printf.sprintf "Engine.step: %s made the sink transmit" st.algo_name);
+  st.holds.(sender) <- false;
+  st.owner_count <- st.owner_count - 1;
+  st.tx_count <- st.tx_count + 1;
+  st.last_time <- t;
+  sender
 
 let step st =
   if st.owner_count = 1 then Finished All_aggregated
@@ -62,20 +84,9 @@ let step st =
             match st.instance.decide ~time:t i with
             | None -> None
             | Some receiver ->
-                if not (Interaction.involves i receiver) then
-                  invalid_arg
-                    (Printf.sprintf "Engine.step: %s returned a non-endpoint receiver"
-                       st.algo_name);
-                let sender = Interaction.other i receiver in
-                if sender = st.sink then
-                  invalid_arg
-                    (Printf.sprintf "Engine.step: %s made the sink transmit"
-                       st.algo_name);
-                st.holds.(sender) <- false;
-                st.owner_count <- st.owner_count - 1;
+                let sender = commit st ~t ~i receiver in
                 let tr = { time = t; sender; receiver } in
-                st.log <- tr :: st.log;
-                st.last_time <- t;
+                if st.record_log then st.log <- tr :: st.log;
                 Some tr
           end
           else None
@@ -95,10 +106,11 @@ let finish st stop =
     duration = (if stop = All_aggregated then Some st.last_time else None);
     steps = st.clock;
     transmissions = List.rev st.log;
+    transmission_count = st.tx_count;
     holders = st.holds;
   }
 
-let run ?knowledge ?max_steps (algo : Algorithm.t) schedule =
+let run ?knowledge ?max_steps ?record (algo : Algorithm.t) schedule =
   let limit =
     match (max_steps, Schedule.length schedule) with
     | Some m, Some len -> Stdlib.min m len
@@ -107,24 +119,34 @@ let run ?knowledge ?max_steps (algo : Algorithm.t) schedule =
     | None, None ->
         invalid_arg "Engine.run: max_steps is mandatory for unbounded schedules"
   in
-  let st = start ?knowledge algo schedule in
-  let rec loop () =
-    if st.clock >= limit then begin
-      let reason =
-        if st.owner_count = 1 then All_aggregated
-        else
-          match Schedule.length schedule with
-          | Some len when st.clock >= len -> Schedule_exhausted
-          | Some _ | None -> Step_limit
-      in
-      finish st reason
-    end
+  let st = start ?knowledge ?record algo schedule in
+  (* Hot loop. Equivalent to iterating [step], but without the
+     per-interaction [Stepped]/[option] wrappers: [clock < limit]
+     guarantees the schedule has an interaction at [clock] (finite
+     schedules because [limit <= length]; generators never run out),
+     so the allocation-free [Schedule.get_exn] applies. *)
+  let instance = st.instance and holds = st.holds in
+  while st.owner_count > 1 && st.clock < limit do
+    let t = st.clock in
+    let i = Schedule.get_exn schedule t in
+    instance.observe ~time:t i;
+    let a = Interaction.u i and b = Interaction.v i in
+    (if holds.(a) && holds.(b) then
+       match instance.decide ~time:t i with
+       | None -> ()
+       | Some receiver ->
+           let sender = commit st ~t ~i receiver in
+           if st.record_log then st.log <- { time = t; sender; receiver } :: st.log);
+    st.clock <- st.clock + 1
+  done;
+  let reason =
+    if st.owner_count = 1 then All_aggregated
     else
-      match step st with
-      | Finished reason -> finish st reason
-      | Stepped _ -> loop ()
+      match Schedule.length schedule with
+      | Some len when st.clock >= len -> Schedule_exhausted
+      | Some _ | None -> Step_limit
   in
-  loop ()
+  finish st reason
 
 let transmissions_of_node result node =
   List.filter
@@ -142,7 +164,7 @@ let pp_result ppf r =
     | Step_limit -> "step limit"
   in
   Format.fprintf ppf "@[<v>stop: %s@,steps: %d@,transmissions: %d@," reason r.steps
-    (List.length r.transmissions);
+    r.transmission_count;
   (match r.duration with
   | Some d -> Format.fprintf ppf "duration: %d@," d
   | None -> Format.fprintf ppf "duration: -@,");

@@ -25,15 +25,18 @@ type result = {
       (** Time (interaction index) of the final transmission, when
           [stop = All_aggregated]; the paper's [duration(A, I)]. *)
   steps : int;  (** Interactions processed. *)
-  transmissions : transmission list;  (** Chronological. *)
+  transmissions : transmission list;
+      (** Chronological. Empty when the run recorded with [`Count]. *)
+  transmission_count : int;
+      (** Number of transmissions, regardless of recording mode. *)
   holders : bool array;  (** Who still owns data at the end. *)
 }
 
 (** {1 Whole runs} *)
 
 val run :
-  ?knowledge:Knowledge.t -> ?max_steps:int -> Algorithm.t ->
-  Doda_dynamic.Schedule.t -> result
+  ?knowledge:Knowledge.t -> ?max_steps:int -> ?record:[ `All | `Count ] ->
+  Algorithm.t -> Doda_dynamic.Schedule.t -> result
 (** [run algo sched] executes [algo] against [sched].
 
     [knowledge] defaults to [Knowledge.for_schedule sched algo.requires]
@@ -42,6 +45,14 @@ val run :
     [max_steps] bounds the number of interactions processed; it
     defaults to the schedule length and is mandatory for generator
     schedules. The engine stops early as soon as aggregation completes.
+
+    [record] (default [`All]) selects what the result carries. [`All]
+    records the full transmission log. [`Count] skips the per-event log
+    allocation — [result.transmissions] is [[]] — and keeps only
+    [transmission_count]; [stop], [duration], [steps] and [holders] are
+    identical to an [`All] run (a determinism regression test enforces
+    this). Use [`Count] on replication-heavy measurement paths that
+    only consume durations.
 
     @raise Invalid_argument if required knowledge cannot be built, if
     [max_steps] is missing for an unbounded schedule, or if the
@@ -54,9 +65,11 @@ type state
 (** A run in progress. *)
 
 val start :
-  ?knowledge:Knowledge.t -> Algorithm.t -> Doda_dynamic.Schedule.t -> state
+  ?knowledge:Knowledge.t -> ?record:[ `All | `Count ] ->
+  Algorithm.t -> Doda_dynamic.Schedule.t -> state
 (** [start algo sched] initialises a run without executing anything.
-    @raise Invalid_argument on missing knowledge. *)
+    [record] as in {!run} (default [`All] — steppers usually want the
+    log). @raise Invalid_argument on missing knowledge. *)
 
 type step_outcome =
   | Stepped of transmission option
@@ -83,7 +96,7 @@ val holders_snapshot : state -> bool array
 (** Fresh copy of the ownership vector. *)
 
 val transmissions_so_far : state -> transmission list
-(** Chronological. *)
+(** Chronological. Empty under [`Count] recording. *)
 
 val finish : state -> stop_reason -> result
 (** Package the current state as a {!result} (e.g. after deciding to

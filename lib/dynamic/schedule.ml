@@ -80,10 +80,17 @@ let get t time =
       ensure t (time + 1);
       Some (Vec.get t.buf time)
 
+(* Allocation-free variant of [get]: the engine's hot loop calls this
+   once per interaction, so no option wrapper. *)
 let get_exn t time =
-  match get t time with
-  | Some i -> i
-  | None -> invalid_arg "Schedule.get_exn: past the end of a finite schedule"
+  if time < 0 then invalid_arg "Schedule.get_exn: negative time";
+  match t.source with
+  | Finite s ->
+      if time < Sequence.length s then Sequence.get s time
+      else invalid_arg "Schedule.get_exn: past the end of a finite schedule"
+  | Generator _ ->
+      ensure t (time + 1);
+      Vec.get t.buf time
 
 let prefix t k =
   if k < 0 then invalid_arg "Schedule.prefix: negative length";

@@ -9,7 +9,16 @@
     Every schedule maintains an index of interactions involving the
     sink, so that the [meetTime] knowledge of Section 4.3 — the first
     time after [t] at which a node interacts with the sink — is a
-    binary search instead of a scan. *)
+    binary search instead of a scan.
+
+    {b Not thread-safe.} Both the lazy materialisation and the sink
+    index mutate unsynchronised internal state ([Vec] buffers) on
+    access, including through ostensibly read-only calls such as
+    {!get} and {!next_meet_with_sink}. A schedule must be confined to
+    one domain: parallel replication code must build a fresh schedule
+    per replication inside each worker (the
+    {!Doda_sim.Experiment.run_schedule_factory} pattern), never share
+    one across domains. *)
 
 type t
 

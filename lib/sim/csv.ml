@@ -16,6 +16,15 @@ let escape s =
 
 let row_to_string row = String.concat "," (List.map escape row)
 
+let rec mkdir_p dir =
+  if dir <> "" && not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    (* Another process may win the race between the existence check and
+       the mkdir; EEXIST is then fine. *)
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
 let append_row oc row =
   output_string oc (row_to_string row);
   output_char oc '\n'

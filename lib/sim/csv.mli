@@ -5,6 +5,12 @@ val escape : string -> string
 
 val row_to_string : string list -> string
 
+val mkdir_p : string -> unit
+(** [mkdir_p dir] creates [dir] and any missing parents ([mkdir -p]).
+    Existing directories — including ones appearing concurrently — are
+    not an error. @raise Sys_error on genuine failures (permissions, a
+    path component that is a file). *)
+
 val write : string -> header:string list -> string list list -> unit
 (** [write path ~header rows] writes a CSV file. *)
 

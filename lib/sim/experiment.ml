@@ -8,9 +8,31 @@ type measurement = {
   failures : int;
 }
 
-let replicate ~replications ~seed f =
+(* All replication APIs, sequential and parallel, derive their
+   per-replication streams here, in index order, on the calling domain.
+   Parallelism therefore cannot change which stream replication [k]
+   receives — the foundation of the bit-identical guarantee. *)
+let split_seeds ~replications ~seed =
   let master = Prng.create seed in
-  Array.init replications (fun _ -> f (Prng.split master))
+  Array.init replications (fun _ -> Prng.split master)
+
+let replicate ~replications ~seed f = Array.map f (split_seeds ~replications ~seed)
+
+let dispatch ?pool ?jobs f seeds =
+  match pool with
+  | Some p -> Pool.map_array p f seeds
+  | None -> (
+      match jobs with
+      | None | Some 1 -> Array.map f seeds
+      | Some j -> Pool.with_pool ~jobs:j (fun p -> Pool.map_array p f seeds))
+
+let replicate_par ?pool ?jobs ~replications ~seed f =
+  let jobs =
+    match (pool, jobs) with
+    | None, None -> Some (Pool.default_jobs ())
+    | _ -> jobs
+  in
+  dispatch ?pool ?jobs f (split_seeds ~replications ~seed)
 
 let of_results ~label ~n results =
   let samples = ref [] in
@@ -23,22 +45,30 @@ let of_results ~label ~n results =
     results;
   { label; n; samples = Array.of_list (List.rev !samples); failures = !failures }
 
-let run_schedule_factory ?(replications = 20) ?(seed = 42) ~max_steps ~label ~n
-    factory algo =
+let run_schedule_factory ?pool ?jobs ?(replications = 20) ?(seed = 42) ~max_steps
+    ~label ~n factory algo =
   let results =
-    replicate ~replications ~seed (fun rng ->
-        Engine.run ~max_steps algo (factory rng))
+    dispatch ?pool ?jobs
+      (fun rng -> Engine.run ~record:`Count ~max_steps algo (factory rng))
+      (split_seeds ~replications ~seed)
   in
   of_results ~label ~n results
 
-let run_uniform ?replications ?seed ?(sink = 0) ?max_steps ~n
+let run_uniform ?pool ?jobs ?replications ?seed ?(sink = 0) ?max_steps ~n
     (algo : Doda_core.Algorithm.t) =
   let max_steps =
     match max_steps with Some m -> m | None -> (200 * n * n) + 10_000
   in
-  run_schedule_factory ?replications ?seed ~max_steps ~label:algo.name ~n
+  run_schedule_factory ?pool ?jobs ?replications ?seed ~max_steps ~label:algo.name
+    ~n
     (fun rng -> Doda_adversary.Randomized.uniform_schedule rng ~n ~sink)
     algo
+
+let replicate_duels ?pool ?jobs ?knowledge ~replications ~seed ~max_steps ~n
+    ~sink algo adversary_of =
+  dispatch ?pool ?jobs
+    (fun rng -> Doda_adversary.Duel.run ?knowledge ~max_steps ~n ~sink algo (adversary_of rng))
+    (split_seeds ~replications ~seed)
 
 let mean m =
   if Array.length m.samples = 0 then

@@ -4,7 +4,24 @@
     seeded schedules and collects the number of interactions to
     termination. The unit reported is "interactions processed until the
     final transmission, inclusive" — [duration + 1] — matching the
-    paper's "terminates in [X] interactions". *)
+    paper's "terminates in [X] interactions".
+
+    {b Parallelism and determinism.} Replications are embarrassingly
+    parallel, and every function below that accepts [?pool]/[?jobs] can
+    fan its replications out over a {!Pool} of domains. Results are
+    {e bit-identical} to the sequential path regardless of job count:
+    the per-replication PRNG streams are always split from the master
+    {e sequentially, in replication order, on the calling domain},
+    before any work is dispatched (see {!split_seeds}); workers receive
+    ready-made independent streams and never touch shared random state.
+
+    {b Thread-safety invariant.} A {!Doda_dynamic.Schedule.t} memoizes
+    lazily and is not thread-safe, so a schedule must never be shared
+    across replications running on different domains. The factory
+    pattern of {!run_schedule_factory} enforces this by construction:
+    each replication builds its own schedule from its own stream,
+    inside the worker. Any [f] passed to {!replicate_par} must do the
+    same. *)
 
 type measurement = {
   label : string;
@@ -13,26 +30,59 @@ type measurement = {
   failures : int;  (** runs that did not terminate within their budget *)
 }
 
+val split_seeds : replications:int -> seed:int -> Doda_prng.Prng.t array
+(** [split_seeds ~replications ~seed] is the array of independent
+    streams that replication [0 .. replications-1] of [seed] receive,
+    split in index order from the master. Both {!replicate} and
+    {!replicate_par} consume exactly this array. *)
+
 val replicate : replications:int -> seed:int -> (Doda_prng.Prng.t -> 'a) -> 'a array
 (** [replicate ~replications ~seed f] calls [f] once per replication
-    with independent split streams derived from [seed]. *)
+    with independent split streams derived from [seed]. Sequential. *)
+
+val replicate_par :
+  ?pool:Pool.t -> ?jobs:int ->
+  replications:int -> seed:int -> (Doda_prng.Prng.t -> 'a) -> 'a array
+(** Parallel {!replicate}: same seeds, same results, any job count.
+    [f] runs on worker domains and must not share mutable state across
+    replications (build schedules inside [f]). Uses [pool] if given;
+    otherwise a transient pool of [jobs] slots (default
+    {!Pool.default_jobs}, i.e. [DODA_JOBS] or the recommended domain
+    count). [~jobs:1] runs on the calling domain. *)
 
 val of_results : label:string -> n:int -> Doda_core.Engine.result array -> measurement
 
 val run_uniform :
+  ?pool:Pool.t -> ?jobs:int ->
   ?replications:int -> ?seed:int -> ?sink:int -> ?max_steps:int ->
   n:int -> Doda_core.Algorithm.t -> measurement
 (** [run_uniform ~n algo] measures [algo] against the uniform
     randomized adversary. Defaults: 20 replications, seed 42, sink 0,
     [max_steps = 200 * n^2 + 10_000] (an order of magnitude above the
-    slowest expected algorithm, Waiting). *)
+    slowest expected algorithm, Waiting). Sequential unless
+    [?pool]/[?jobs] is given; the measurement is identical either
+    way. *)
 
 val run_schedule_factory :
+  ?pool:Pool.t -> ?jobs:int ->
   ?replications:int -> ?seed:int -> max_steps:int ->
   label:string -> n:int ->
   (Doda_prng.Prng.t -> Doda_dynamic.Schedule.t) ->
   Doda_core.Algorithm.t -> measurement
-(** Generic form: a fresh schedule per replication. *)
+(** Generic form: a fresh schedule per replication (never shared across
+    domains — see the thread-safety invariant above). Runs the engine
+    with [~record:`Count]; only durations are kept. *)
+
+val replicate_duels :
+  ?pool:Pool.t -> ?jobs:int -> ?knowledge:Doda_core.Knowledge.t ->
+  replications:int -> seed:int -> max_steps:int -> n:int -> sink:int ->
+  Doda_core.Algorithm.t ->
+  (Doda_prng.Prng.t -> Doda_adversary.Adversary.t) ->
+  (Doda_core.Engine.result * Doda_dynamic.Sequence.t) array
+(** Replicated {!Doda_adversary.Duel.run} comparisons against adaptive
+    adversaries, one independently seeded adversary per replication
+    (built inside the worker from its split stream). Same determinism
+    guarantee as {!replicate_par}. *)
 
 val mean : measurement -> float
 (** Mean of the samples. @raise Invalid_argument if every run failed. *)

@@ -1,0 +1,20 @@
+(** Minimal JSON output, for machine-readable benchmark archives
+    ([BENCH_results.json]). Writing only — no parser, no dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite floats are emitted as [null] *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace beyond newlines
+    between top-level object entries is guaranteed; output is valid
+    JSON, UTF-8 passed through, control characters escaped). *)
+
+val write : string -> t -> unit
+(** [write path v] writes [to_string v] (plus a trailing newline) to
+    [path], creating parent directories as needed. *)

@@ -1,0 +1,133 @@
+(* A hand-rolled fixed-size domain pool: a mutex/condition-protected
+   queue of thunks, one persistent worker domain per extra slot. The
+   stdlib has everything needed (Domain, Mutex, Condition, Atomic);
+   domainslib is deliberately not a dependency. *)
+
+type t = {
+  lock : Mutex.t;
+  work_available : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t array;
+  slots : int;
+}
+
+let rec worker_loop pool =
+  Mutex.lock pool.lock;
+  while Queue.is_empty pool.queue && not pool.closed do
+    Condition.wait pool.work_available pool.lock
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.lock (* closed: exit *)
+  else begin
+    let job = Queue.pop pool.queue in
+    Mutex.unlock pool.lock;
+    (* Jobs trap their own exceptions (map_array wraps every item in
+       [Result]); a raise here would only mean a bug in the pool. *)
+    job ();
+    worker_loop pool
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    {
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [||];
+      slots = jobs;
+    }
+  in
+  pool.workers <-
+    Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let jobs pool = pool.slots
+
+let submit pool job =
+  Mutex.lock pool.lock;
+  if pool.closed then begin
+    Mutex.unlock pool.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push job pool.queue;
+  Condition.signal pool.work_available;
+  Mutex.unlock pool.lock
+
+let map_array pool f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if Array.length pool.workers = 0 then Array.map f arr
+  else begin
+    if pool.closed then invalid_arg "Pool.map_array: pool is shut down";
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let finished = Mutex.create () in
+    let all_done = Condition.create () in
+    let done_count = ref 0 in
+    (* Each participant pulls the next unclaimed index until none are
+       left; item results land at their input index, so the output
+       order is independent of scheduling. *)
+    let work () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r =
+            try Ok (f arr.(i))
+            with e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r;
+          Mutex.lock finished;
+          incr done_count;
+          if !done_count = n then Condition.signal all_done;
+          Mutex.unlock finished;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    (* One helper job per worker; late-arriving helpers (workers still
+       busy with a previous batch) find the index counter exhausted and
+       return immediately. *)
+    Array.iter (fun _ -> submit pool work) pool.workers;
+    work ();
+    Mutex.lock finished;
+    while !done_count < n do
+      Condition.wait all_done finished
+    done;
+    Mutex.unlock finished;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      results
+  end
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  let was_closed = pool.closed in
+  pool.closed <- true;
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.lock;
+  if not was_closed then Array.iter Domain.join pool.workers
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | Some j when j >= 1 -> Some j
+  | _ -> None
+
+let default_jobs () =
+  match Sys.getenv_opt "DODA_JOBS" with
+  | None | Some "" -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match parse_jobs s with
+      | Some j -> j
+      | None ->
+          invalid_arg
+            (Printf.sprintf "DODA_JOBS must be a positive integer, got %S" s))

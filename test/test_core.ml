@@ -299,6 +299,50 @@ let test_engine_ignores_decide_without_data () =
   Alcotest.(check int) "decide once" 1 !calls;
   Alcotest.(check int) "one transmission" 1 (List.length r.transmissions)
 
+let test_engine_record_count_matches_all () =
+  (* `Count recording must change nothing about the run except that the
+     transmission log is dropped — a determinism regression test for
+     the engine's fast path, across algorithms and stop reasons. *)
+  let check_pair name (full : Engine.result) (count : Engine.result) =
+    Alcotest.(check bool) (name ^ ": same stop") true (full.stop = count.stop);
+    Alcotest.(check (option int)) (name ^ ": same duration") full.duration
+      count.duration;
+    Alcotest.(check int) (name ^ ": same steps") full.steps count.steps;
+    Alcotest.(check int)
+      (name ^ ": same transmission count")
+      full.transmission_count count.transmission_count;
+    Alcotest.(check int)
+      (name ^ ": full log length agrees")
+      full.transmission_count
+      (List.length full.transmissions);
+    Alcotest.(check (list string)) (name ^ ": count log empty") []
+      (List.map (fun _ -> "tr") count.transmissions);
+    Alcotest.(check (array bool)) (name ^ ": same holders") full.holders
+      count.holders
+  in
+  let n = 24 in
+  List.iter
+    (fun (name, algo, max_steps) ->
+      let run record =
+        let rng = Prng.create 2016 in
+        let sched =
+          Schedule.of_fun ~n ~sink:0 (Generators.uniform rng ~n)
+        in
+        Engine.run ~record ~max_steps algo sched
+      in
+      check_pair name (run `All) (run `Count))
+    [
+      ("gathering", Algorithms.gathering, 100_000);
+      ("waiting", Algorithms.waiting, 100_000);
+      ("waiting-greedy", Algorithms.waiting_greedy ~tau:400, 100_000);
+      ("step-limited waiting", Algorithms.waiting, 40);
+    ];
+  (* Finite schedule exhaustion under both modes. *)
+  let finite record =
+    Engine.run ~record Algorithms.gathering (sched ~n:3 [ (1, 2); (1, 2) ])
+  in
+  check_pair "exhausted" (finite `All) (finite `Count)
+
 (* ------------------------------------------------------------------ *)
 (* Stepper API                                                         *)
 
@@ -534,6 +578,8 @@ let () =
             test_engine_unbounded_needs_max_steps;
           Alcotest.test_case "each node transmits once" `Quick
             test_engine_each_node_transmits_once;
+          Alcotest.test_case "record `Count matches `All" `Quick
+            test_engine_record_count_matches_all;
         ] );
       ( "convergecast",
         [

@@ -1,0 +1,113 @@
+(* Tests for the fixed-size domain pool: map_array must agree with
+   Array.map (same values, same order) for every pool size, reuse must
+   be safe, and worker exceptions must propagate to the caller. *)
+
+module Pool = Doda_sim.Pool
+
+let jobs_under_test = [ 1; 2; 3; 4 ]
+let sizes_under_test = [ 0; 1; 10; 1000 ]
+
+let test_map_array_matches_sequential () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          List.iter
+            (fun size ->
+              let input = Array.init size (fun i -> (7 * i) + 3) in
+              let expected = Array.map (fun x -> (x * x) - 1) input in
+              let got = Pool.map_array pool (fun x -> (x * x) - 1) input in
+              Alcotest.(check (array int))
+                (Printf.sprintf "jobs=%d size=%d" jobs size)
+                expected got)
+            sizes_under_test))
+    jobs_under_test
+
+let test_pool_reuse () =
+  (* One pool, many map_array calls — workers must survive between
+     calls and results must stay correct. *)
+  Pool.with_pool ~jobs:3 (fun pool ->
+      for round = 1 to 20 do
+        let input = Array.init 57 (fun i -> i + round) in
+        let got = Pool.map_array pool (fun x -> 2 * x) input in
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d" round)
+          (Array.map (fun x -> 2 * x) input)
+          got
+      done)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let raised =
+            try
+              ignore
+                (Pool.map_array pool
+                   (fun i -> if i = 5 then raise (Boom i) else i)
+                   (Array.init 32 Fun.id));
+              None
+            with Boom i -> Some i
+          in
+          Alcotest.(check (option int))
+            (Printf.sprintf "jobs=%d raises Boom 5" jobs)
+            (Some 5) raised;
+          (* The pool must still be usable after an exception. *)
+          let got = Pool.map_array pool succ [| 1; 2; 3 |] in
+          Alcotest.(check (array int))
+            (Printf.sprintf "jobs=%d usable after exception" jobs)
+            [| 2; 3; 4 |] got))
+    jobs_under_test
+
+let test_jobs_accessor_and_validation () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.(check int) "jobs accessor" 2 (Pool.jobs pool));
+  Alcotest.check_raises "jobs=0 rejected"
+    (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Pool.create ~jobs:0))
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~jobs:4 in
+  let got = Pool.map_array pool string_of_int [| 1; 2 |] in
+  Alcotest.(check (array string)) "before shutdown" [| "1"; "2" |] got;
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.check_raises "map_array after shutdown"
+    (Invalid_argument "Pool.map_array: pool is shut down") (fun () ->
+      ignore (Pool.map_array pool Fun.id [| 1 |]))
+
+let test_parse_jobs () =
+  List.iter
+    (fun (input, expected) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "parse %S" input)
+        expected (Pool.parse_jobs input))
+    [
+      ("1", Some 1);
+      ("4", Some 4);
+      ("  8 ", Some 8);
+      ("0", None);
+      ("-2", None);
+      ("", None);
+      ("four", None);
+      ("2.5", None);
+    ]
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map_array matches Array.map" `Quick
+            test_map_array_matches_sequential;
+          Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "jobs accessor and validation" `Quick
+            test_jobs_accessor_and_validation;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_shutdown_idempotent;
+          Alcotest.test_case "parse_jobs" `Quick test_parse_jobs;
+        ] );
+    ]

@@ -15,6 +15,51 @@ let test_replicate_deterministic () =
   let c = Experiment.replicate ~replications:10 ~seed:6 f in
   Alcotest.(check bool) "different seed differs" true (a <> c)
 
+let test_replicate_par_matches_sequential () =
+  (* The parallel runner pre-splits seeds sequentially on the calling
+     domain, so results must be bit-identical to [replicate] at every
+     job count. *)
+  let f rng = Prng.int rng 1_000_000 in
+  let sequential = Experiment.replicate ~replications:25 ~seed:42 f in
+  List.iter
+    (fun jobs ->
+      let par = Experiment.replicate_par ~jobs ~replications:25 ~seed:42 f in
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d bit-identical" jobs)
+        sequential par)
+    [ 1; 2; 4 ]
+
+let test_run_uniform_par_matches_sequential () =
+  (* Full measurement pipeline: simulated durations, failure counts and
+     sample order must not depend on the job count. *)
+  let run jobs =
+    Experiment.run_uniform ?jobs ~replications:12 ~seed:9 ~n:16
+      Algorithms.gathering
+  in
+  let reference = run None in
+  List.iter
+    (fun jobs ->
+      let m = run (Some jobs) in
+      Alcotest.(check (array (float 0.0)))
+        (Printf.sprintf "jobs=%d same samples" jobs)
+        reference.samples m.samples;
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d same failures" jobs)
+        reference.failures m.failures)
+    [ 1; 2; 4 ]
+
+let test_replicate_par_shared_pool () =
+  (* A caller-provided pool must yield the same results as the
+     internal per-call pool and survive multiple dispatches. *)
+  let f rng = Prng.float rng 1.0 in
+  let sequential = Experiment.replicate ~replications:9 ~seed:3 f in
+  Doda_sim.Pool.with_pool ~jobs:3 (fun pool ->
+      for _ = 1 to 3 do
+        let par = Experiment.replicate_par ~pool ~replications:9 ~seed:3 f in
+        Alcotest.(check (array (float 0.0))) "pool run bit-identical"
+          sequential par
+      done)
+
 let test_run_uniform_gathering () =
   let m = Experiment.run_uniform ~replications:5 ~n:12 Algorithms.gathering in
   Alcotest.(check int) "all succeed" 0 m.failures;
@@ -176,12 +221,33 @@ let test_workload_parse_roundtrip () =
     ]
 
 let test_workload_parse_errors () =
+  (* Every malformed variant must be rejected with its specific
+     diagnostic, not just a generic failure. *)
+  let unknown =
+    "unknown workload; syntax: uniform | sink-biased:W | round-robin | \
+     waypoint | community:K:P | grid:R:C | markov:PON:POFF | trace:FILE"
+  in
   List.iter
-    (fun s ->
+    (fun (s, expected) ->
       match Workload.parse s with
       | Ok _ -> Alcotest.fail ("accepted: " ^ s)
-      | Error _ -> ())
-    [ "nope"; "sink-biased:-1"; "community:0:0.5"; "markov:2:0.5"; "grid:0:3" ]
+      | Error e -> Alcotest.(check string) ("message for " ^ s) expected e)
+    [
+      ("nope", unknown);
+      ("trace", unknown);
+      ("", unknown);
+      ( "sink-biased:-1",
+        "sink-biased needs a positive weight, e.g. sink-biased:5.0" );
+      ( "sink-biased:zero",
+        "sink-biased needs a positive weight, e.g. sink-biased:5.0" );
+      ("community:0:0.5", "community needs groups and p_intra, e.g. community:4:0.8");
+      ("community:4:1.5", "community needs groups and p_intra, e.g. community:4:0.8");
+      ("grid:0:3", "grid needs rows and cols, e.g. grid:5:5");
+      ("grid:3", unknown);
+      ("markov:0:0.5", "markov needs two probabilities in (0,1], e.g. markov:0.01:0.2");
+      ("markov:2:0.5", "markov needs two probabilities in (0,1], e.g. markov:0.01:0.2");
+      ("markov:0.5", unknown);
+    ]
 
 let test_workload_schedules_run () =
   List.iter
@@ -247,6 +313,12 @@ let () =
         [
           Alcotest.test_case "replicate deterministic" `Quick
             test_replicate_deterministic;
+          Alcotest.test_case "replicate_par matches sequential" `Quick
+            test_replicate_par_matches_sequential;
+          Alcotest.test_case "run_uniform jobs-invariant" `Quick
+            test_run_uniform_par_matches_sequential;
+          Alcotest.test_case "replicate_par shared pool" `Quick
+            test_replicate_par_shared_pool;
           Alcotest.test_case "run uniform gathering" `Quick test_run_uniform_gathering;
           Alcotest.test_case "failures counted" `Quick test_failures_counted;
           Alcotest.test_case "mean raises when all failed" `Quick
