@@ -114,6 +114,32 @@ let durations results =
        (fun (r : Engine.result) -> Option.map (fun d -> float_of_int (d + 1)) r.duration)
        (Array.to_list results))
 
+(* One schedule per trace, every algorithm against it: replications run
+   on the pool, each worker building a single schedule from its rng and
+   sweeping the whole algorithm list over it (schedule construction and
+   the sink-meeting index amortise across algorithms; the engine sees
+   the same interactions an algorithm-major sweep would, because a
+   schedule's content is a function of the seed alone). Returns, per
+   algorithm, the successful durations as floats. *)
+let shared_sweep ?(record = `Count) ?max_steps ?(reps = replications)
+    ?(seed = master_seed) schedule_of algos =
+  let rows =
+    replicate ~replications:reps ~seed (fun rng ->
+        let sched = schedule_of rng in
+        List.map
+          (fun algo ->
+            (Engine.run ~record ?max_steps algo sched).Engine.duration)
+          algos)
+  in
+  List.mapi
+    (fun idx _ ->
+      Array.of_list
+        (List.filter_map
+           (fun row ->
+             Option.map (fun d -> float_of_int (d + 1)) (List.nth row idx))
+           (Array.to_list rows)))
+    algos
+
 (* ------------------------------------------------------------------ *)
 (* E1 — Theorem 7: the final transmission alone waits Omega(n^2).      *)
 
@@ -364,18 +390,28 @@ let e7 () =
   in
   List.iter
     (fun n ->
-      let measure algo = Descriptive.mean (durations (uniform_runs ~n algo)) in
-      let opt = measure Algorithms.full_knowledge in
-      let wg = measure (Algorithms.waiting_greedy_recommended n) in
-      let ga = measure Algorithms.gathering in
-      let wa = measure Algorithms.waiting in
-      Table.add_row t
-        [
-          string_of_int n; fmt opt;
-          fmt wg; ratio (wg /. opt);
-          fmt ga; ratio (ga /. opt);
-          fmt wa; ratio (wa /. opt);
-        ])
+      let means =
+        List.map Descriptive.mean
+          (shared_sweep
+             ~max_steps:((200 * n * n) + 10_000)
+             (fun rng -> Randomized.uniform_schedule rng ~n ~sink:0)
+             [
+               Algorithms.full_knowledge;
+               Algorithms.waiting_greedy_recommended n;
+               Algorithms.gathering;
+               Algorithms.waiting;
+             ])
+      in
+      match means with
+      | [ opt; wg; ga; wa ] ->
+          Table.add_row t
+            [
+              string_of_int n; fmt opt;
+              fmt wg; ratio (wg /. opt);
+              fmt ga; ratio (ga /. opt);
+              fmt wa; ratio (wa /. opt);
+            ]
+      | _ -> assert false)
     sweep_ns;
   print_table t
 
@@ -400,14 +436,27 @@ let e8 () =
        [ Algorithms.gathering; Algorithms.tree_aggregation ]);
     ]
   in
+  (* One duel per (adversary, algorithm), played to the largest
+     horizon; both duellists are deterministic, so the shorter-horizon
+     duels are exact prefixes of it. A run at horizon h terminates iff
+     the long run's duration lands below h, and the convergecast count
+     up to h - 1 only involves windows inside the prefix, so every row
+     matches the old one-duel-per-horizon table. *)
+  let horizons = [ 500; 1000; 2000; 4000 ] in
+  let h_max = List.fold_left Stdlib.max 0 horizons in
   List.iter
     (fun (adv_name, adv, n, knowledge, algos) ->
       List.iter
         (fun algo ->
+          let r, played =
+            Duel.run ?knowledge ~max_steps:h_max ~n ~sink:0 algo (adv ())
+          in
           List.iter
             (fun horizon ->
-              let r, played =
-                Duel.run ?knowledge ~max_steps:horizon ~n ~sink:0 algo (adv ())
+              let terminated =
+                match r.Engine.duration with
+                | Some d -> d < horizon
+                | None -> false
               in
               let possible =
                 Cost.convergecasts_within ~n ~sink:0 played ~upto:(horizon - 1)
@@ -415,10 +464,10 @@ let e8 () =
               Table.add_row t
                 [
                   adv_name; algo.Doda_core.Algorithm.name; string_of_int horizon;
-                  (if r.Engine.stop = Engine.All_aggregated then "yes" else "no");
+                  (if terminated then "yes" else "no");
                   string_of_int possible;
                 ])
-            [ 500; 1000; 2000; 4000 ])
+            horizons)
         algos)
     cases;
   print_table t
@@ -646,25 +695,20 @@ let knowledge () =
   List.iter
     (fun (label, gen_of) ->
       let horizon = 40 * n * n in
-      let traces =
-        replicate ~replications ~seed:master_seed (fun rng ->
-            Sequence.of_array (Array.init horizon (gen_of rng)))
-      in
+      (* One frozen schedule per trace, generated and swept inside the
+         pooled worker: the trace materializes once, its sink-meeting
+         index is built once, and all five algorithms run against the
+         same immutable array. *)
       let cells =
-        List.map
-          (fun algo ->
-            let samples =
-              Array.to_list traces
-              |> List.filter_map (fun s ->
-                     let sched = Schedule.of_sequence ~n ~sink:0 s in
-                     match (Engine.run ~record:`Count algo sched).Engine.duration with
-                     | Some d -> Some (float_of_int (d + 1))
-                     | None -> None)
-              |> Array.of_list
-            in
-            if Array.length samples = 0 then "-"
-            else fmt (Descriptive.mean samples))
+        shared_sweep
+          (fun rng ->
+            Schedule.freeze
+              (Schedule.of_sequence ~n ~sink:0
+                 (Sequence.of_array (Array.init horizon (gen_of rng)))))
           algorithms
+        |> List.map (fun samples ->
+               if Array.length samples = 0 then "-"
+               else fmt (Descriptive.mean samples))
       in
       Table.add_row t (label :: cells))
     workloads;
@@ -893,14 +937,24 @@ let spite () =
     Table.create
       ~header:[ "n"; "algorithm"; "horizon"; "terminated"; "convergecasts possible" ]
   in
+  (* As in E8: one duel per (n, algorithm) at the largest horizon; the
+     spiteful adversary and both algorithms are deterministic, so each
+     shorter horizon is read off the shared played trace. *)
+  let horizons = [ 2000; 8000 ] in
+  let h_max = List.fold_left Stdlib.max 0 horizons in
   List.iter
     (fun n ->
       List.iter
         (fun algo ->
+          let adv = Doda_adversary.Spiteful.adversary ~n ~sink:0 in
+          let r, played = Duel.run ~max_steps:h_max ~n ~sink:0 algo adv in
           List.iter
             (fun horizon ->
-              let adv = Doda_adversary.Spiteful.adversary ~n ~sink:0 in
-              let r, played = Duel.run ~max_steps:horizon ~n ~sink:0 algo adv in
+              let terminated =
+                match r.Engine.duration with
+                | Some d -> d < horizon
+                | None -> false
+              in
               let possible =
                 Cost.convergecasts_within ~n ~sink:0 played ~upto:(horizon - 1)
               in
@@ -908,10 +962,10 @@ let spite () =
                 [
                   string_of_int n; algo.Doda_core.Algorithm.name;
                   string_of_int horizon;
-                  (if r.Engine.stop = Engine.All_aggregated then "yes" else "no");
+                  (if terminated then "yes" else "no");
                   string_of_int possible;
                 ])
-            [ 2000; 8000 ])
+            horizons)
         [ Algorithms.waiting; Algorithms.gathering ])
     [ 4; 8; 16 ];
   print_table t
@@ -927,17 +981,7 @@ let policies () =
   let t =
     Table.create ~header:[ "policy"; "n=64"; "n=128" ]
   in
-  let measure n algo =
-    let samples = durations (uniform_runs ~n algo) in
-    if Array.length samples < replications then "timeout"
-    else fmt (Descriptive.mean samples)
-  in
-  let rows n_list policy_of =
-    List.map (fun n -> measure n (policy_of n)) n_list
-  in
-  let ns = [ 64; 128 ] in
-  List.iter
-    (fun (label, policy_of) -> Table.add_row t (label :: rows ns policy_of))
+  let rivals =
     [
       ("waiting-greedy (tuned)", fun n -> Algorithms.waiting_greedy_recommended n);
       ("waiting-greedy tau/4",
@@ -955,7 +999,30 @@ let policies () =
          Doda_core.Meet_time_policies.sliding_window
            ~theta:(Theory.recommended_tau n / 4));
       ("gathering (no oracle)", fun _ -> Algorithms.gathering);
-    ];
+    ]
+  in
+  (* All seven rivals share one lazy schedule per replication (the
+     schedule stays live, not frozen: pure-greedy probes the oracle up
+     to 100 n^2 and sliding-window past the current time, so the needed
+     prefix length is policy-dependent). A lazy schedule's content at
+     any index is fixed by the seed alone, so the durations match the
+     old one-schedule-per-policy sweep exactly. *)
+  let columns =
+    List.map
+      (fun n ->
+        shared_sweep
+          ~max_steps:((200 * n * n) + 10_000)
+          (fun rng -> Randomized.uniform_schedule rng ~n ~sink:0)
+          (List.map (fun (_, policy_of) -> policy_of n) rivals)
+        |> List.map (fun samples ->
+               if Array.length samples < replications then "timeout"
+               else fmt (Descriptive.mean samples)))
+      [ 64; 128 ]
+  in
+  List.iteri
+    (fun i (label, _) ->
+      Table.add_row t (label :: List.map (fun col -> List.nth col i) columns))
+    rivals;
   print_table t
 
 (* ------------------------------------------------------------------ *)

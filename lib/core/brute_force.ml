@@ -1,24 +1,41 @@
 module Sequence = Doda_dynamic.Sequence
 module Interaction = Doda_dynamic.Interaction
 
-module Int_set = Set.Make (Int)
-
 let check_n n =
   if n > 20 then invalid_arg "Brute_force: n too large for subset search";
   if n < 1 then invalid_arg "Brute_force: n must be positive"
 
-(* From ownership state [mask] at interaction {a, b}, the possible
-   successor states: do nothing, or (when both endpoints own data and
-   the sender is not the sink) one endpoint transmits to the other. *)
-let successors ~sink mask a b =
-  let bit x = 1 lsl x in
-  if mask land bit a <> 0 && mask land bit b <> 0 then begin
-    let acc = [ mask ] in
-    let acc = if a <> sink then mask lxor bit a :: acc else acc in
-    let acc = if b <> sink then mask lxor bit b :: acc else acc in
-    acc
-  end
-  else [ mask ]
+(* Reachable ownership states as a bitvector over the 2^n mask space:
+   bit [mask] is set iff [mask] is reachable. One cache-linear sweep
+   per interaction replaces the old Int_set fold that allocated a
+   successor list per state per interaction.
+
+   From state [mask] at interaction {a, b}, the successors are: do
+   nothing, or (when both endpoints own data and the sender is not the
+   sink) one endpoint transmits to the other, clearing the sender's
+   bit. Updating in place during the sweep is sound: a successor
+   differs from [mask] by a cleared endpoint bit, so re-examining it
+   under the same interaction fails the both-endpoints-own test and
+   generates nothing new. *)
+
+let bit_test bv mask =
+  Char.code (Bytes.unsafe_get bv (mask lsr 3)) land (1 lsl (mask land 7)) <> 0
+
+let bit_set bv mask =
+  let byte = mask lsr 3 in
+  Bytes.unsafe_set bv byte
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get bv byte) lor (1 lsl (mask land 7))))
+
+let sweep ~sink bv ~full i =
+  let a = Interaction.u i and b = Interaction.v i in
+  let both = (1 lsl a) lor (1 lsl b) in
+  let bit_a = 1 lsl a and bit_b = 1 lsl b in
+  for mask = full downto 0 do
+    if mask land both = both && bit_test bv mask then begin
+      if a <> sink then bit_set bv (mask lxor bit_a);
+      if b <> sink then bit_set bv (mask lxor bit_b)
+    end
+  done
 
 let optimal_duration ~n ~sink s ~start =
   check_n n;
@@ -27,23 +44,13 @@ let optimal_duration ~n ~sink s ~start =
   if full = goal then Some start
   else begin
     let len = Sequence.length s in
-    let states = ref (Int_set.singleton full) in
+    let bv = Bytes.make (((full + 1) + 7) lsr 3) '\000' in
+    bit_set bv full;
     let result = ref None in
     let t = ref start in
     while !result = None && !t < len do
-      let i = Sequence.get s !t in
-      let a = Interaction.u i and b = Interaction.v i in
-      let next =
-        Int_set.fold
-          (fun mask acc ->
-            List.fold_left
-              (fun acc m -> Int_set.add m acc)
-              acc
-              (successors ~sink mask a b))
-          !states Int_set.empty
-      in
-      states := next;
-      if Int_set.mem goal next then result := Some !t;
+      sweep ~sink bv ~full (Sequence.get s !t);
+      if bit_test bv goal then result := Some !t;
       incr t
     done;
     !result
@@ -52,17 +59,11 @@ let optimal_duration ~n ~sink s ~start =
 let reachable_states ~n ~sink s =
   check_n n;
   let full = (1 lsl n) - 1 in
-  let states = ref (Int_set.singleton full) in
-  Sequence.iteri
-    (fun _ i ->
-      let a = Interaction.u i and b = Interaction.v i in
-      states :=
-        Int_set.fold
-          (fun mask acc ->
-            List.fold_left
-              (fun acc m -> Int_set.add m acc)
-              acc
-              (successors ~sink mask a b))
-          !states Int_set.empty)
-    s;
-  Int_set.elements !states
+  let bv = Bytes.make (((full + 1) + 7) lsr 3) '\000' in
+  bit_set bv full;
+  Sequence.iteri (fun _ i -> sweep ~sink bv ~full i) s;
+  let acc = ref [] in
+  for mask = full downto 0 do
+    if bit_test bv mask then acc := mask :: !acc
+  done;
+  !acc

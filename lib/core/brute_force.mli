@@ -1,5 +1,6 @@
-(** Exhaustive offline optimum over all aggregation schedules, by
-    breadth-first search over data-ownership states (bitmask subsets).
+(** Exhaustive offline optimum over all aggregation schedules, by a
+    reachability sweep over data-ownership states: a bitvector over the
+    2^n bitmask subsets, one cache-linear pass per interaction.
 
     Exponential in [n] — intended for [n <= 12] — and used by the test
     suite to cross-validate the polynomial {!Convergecast} solver built

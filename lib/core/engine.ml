@@ -123,12 +123,9 @@ let run ?knowledge ?max_steps ?record (algo : Algorithm.t) schedule =
   (* Hot loop. Equivalent to iterating [step], but without the
      per-interaction [Stepped]/[option] wrappers: [clock < limit]
      guarantees the schedule has an interaction at [clock] (finite
-     schedules because [limit <= length]; generators never run out),
-     so the allocation-free [Schedule.get_exn] applies. *)
+     schedules because [limit <= length]; generators never run out). *)
   let instance = st.instance and holds = st.holds in
-  while st.owner_count > 1 && st.clock < limit do
-    let t = st.clock in
-    let i = Schedule.get_exn schedule t in
+  let body t i =
     instance.observe ~time:t i;
     let a = Interaction.u i and b = Interaction.v i in
     (if holds.(a) && holds.(b) then
@@ -137,8 +134,23 @@ let run ?knowledge ?max_steps ?record (algo : Algorithm.t) schedule =
        | Some receiver ->
            let sender = commit st ~t ~i receiver in
            if st.record_log then st.log <- { time = t; sender; receiver } :: st.log);
-    st.clock <- st.clock + 1
-  done;
+    st.clock <- t + 1
+  in
+  (match Schedule.backing schedule with
+  | Some seq ->
+      (* Finite or frozen: [limit <= length], so iterate the backing
+         flat packed int array directly — no per-step dispatch. *)
+      while st.owner_count > 1 && st.clock < limit do
+        let t = st.clock in
+        body t (Doda_dynamic.Sequence.unsafe_get seq t)
+      done
+  | None ->
+      (* Generator: the allocation-free [Schedule.get_exn] materialises
+         as it goes. *)
+      while st.owner_count > 1 && st.clock < limit do
+        let t = st.clock in
+        body t (Schedule.get_exn schedule t)
+      done);
   let reason =
     if st.owner_count = 1 then All_aggregated
     else

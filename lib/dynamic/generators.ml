@@ -69,22 +69,32 @@ let markov_edges rng ~n ~p_on ~p_off =
       incr k
     done
   done;
-  let present = ref [] in
+  (* Active pair indices land in [present.(start .. pairs - 1)], in
+     increasing order: the Bernoulli transitions are drawn high to low
+     (the draw order the original list-building version used), filling
+     the buffer from the back. Advancing is allocation-free where it
+     used to build a fresh list and array per drawn interaction. *)
+  let present = Array.make pairs 0 in
+  let start = ref pairs in
   let advance () =
-    present := [];
+    start := pairs;
     for i = pairs - 1 downto 0 do
       active.(i) <-
         (if active.(i) then not (Prng.bernoulli rng p_off)
          else Prng.bernoulli rng p_on);
-      if active.(i) then present := i :: !present
+      if active.(i) then begin
+        decr start;
+        present.(!start) <- i
+      end
     done
   in
   fun _t ->
     advance ();
-    while !present = [] do
+    while !start = pairs do
       advance ()
     done;
-    index.(Prng.choose rng (Array.of_list !present))
+    let count = pairs - !start in
+    index.(present.(!start + Prng.int rng count))
 
 let stitch segments =
   if segments = [] then invalid_arg "Generators.stitch: empty segment list";

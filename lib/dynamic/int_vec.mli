@@ -1,0 +1,31 @@
+(** Growable int buffers, monomorphic on purpose: unlike ['a Vec.t],
+    stores compile to direct unboxed writes with no caml_modify write
+    barrier, which matters in the schedule-materialisation hot path.
+    Used for packed-interaction buffers and sink-meeting indexes. *)
+
+type t
+
+val create : unit -> t
+(** An empty vector. *)
+
+val length : t -> int
+
+val get : t -> int -> int
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val set : t -> int -> int -> unit
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val push : t -> int -> unit
+
+val last : t -> int
+(** @raise Invalid_argument if empty. *)
+
+val to_array : t -> int array
+
+val of_array : int array -> t
+
+val iter : (int -> unit) -> t -> unit
+
+val clear : t -> unit
+(** Resets length to zero (capacity retained). *)

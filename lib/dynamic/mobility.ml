@@ -4,75 +4,81 @@ type waypoint_params = { radius : float; speed : float; pause : int }
 
 let default_waypoint = { radius = 0.2; speed = 0.02; pause = 3 }
 
-type walker = {
-  mutable x : float;
-  mutable y : float;
-  mutable goal_x : float;
-  mutable goal_y : float;
-  mutable pause_left : int;
-}
-
+(* Walker state lives in parallel float arrays rather than an array of
+   mutable-float records: float-array stores are unboxed, so advancing
+   the walkers allocates nothing. *)
 let random_waypoint ?(params = default_waypoint) rng ~n =
   if n < 2 then invalid_arg "Mobility.random_waypoint: need at least two nodes";
-  let fresh_goal w =
-    w.goal_x <- Prng.float rng 1.0;
-    w.goal_y <- Prng.float rng 1.0
+  let x = Array.make n 0.0 and y = Array.make n 0.0 in
+  let goal_x = Array.make n 0.0 and goal_y = Array.make n 0.0 in
+  let pause_left = Array.make n 0 in
+  let fresh_goal u =
+    goal_x.(u) <- Prng.float rng 1.0;
+    goal_y.(u) <- Prng.float rng 1.0
   in
-  let walkers =
-    Array.init n (fun _ ->
-        let w =
-          {
-            x = Prng.float rng 1.0;
-            y = Prng.float rng 1.0;
-            goal_x = 0.0;
-            goal_y = 0.0;
-            pause_left = 0;
-          }
-        in
-        fresh_goal w;
-        w)
-  in
-  let advance w =
-    if w.pause_left > 0 then w.pause_left <- w.pause_left - 1
+  (* y before x: the walkers used to start as record literals whose
+     fields evaluate right to left, so the first float drawn for a
+     walker was its y coordinate. Keep that order — the committed
+     benchmark tables depend on the draw stream. *)
+  for u = 0 to n - 1 do
+    y.(u) <- Prng.float rng 1.0;
+    x.(u) <- Prng.float rng 1.0;
+    fresh_goal u
+  done;
+  let advance u =
+    if pause_left.(u) > 0 then pause_left.(u) <- pause_left.(u) - 1
     else begin
-      let dx = w.goal_x -. w.x and dy = w.goal_y -. w.y in
+      let dx = goal_x.(u) -. x.(u) and dy = goal_y.(u) -. y.(u) in
       let dist = sqrt ((dx *. dx) +. (dy *. dy)) in
       if dist <= params.speed then begin
-        w.x <- w.goal_x;
-        w.y <- w.goal_y;
-        w.pause_left <- params.pause;
-        fresh_goal w
+        x.(u) <- goal_x.(u);
+        y.(u) <- goal_y.(u);
+        pause_left.(u) <- params.pause;
+        fresh_goal u
       end
       else begin
-        w.x <- w.x +. (params.speed *. dx /. dist);
-        w.y <- w.y +. (params.speed *. dy /. dist)
+        x.(u) <- x.(u) +. (params.speed *. dx /. dist);
+        y.(u) <- y.(u) +. (params.speed *. dy /. dist)
       end
     end
   in
   let r2 = params.radius *. params.radius in
   let in_range a b =
-    let dx = a.x -. b.x and dy = a.y -. b.y in
+    let dx = x.(a) -. x.(b) and dy = y.(a) -. y.(b) in
     (dx *. dx) +. (dy *. dy) <= r2
   in
-  let contacts = ref [] in
+  (* Contacts collect into packed-int buffers instead of a list plus
+     Array.of_list per draw. The uniform pick is over the contact list
+     in the (reverse-scan) order the list-based version produced, so
+     the draw stream is unchanged: element [j] of that list is slot
+     [count - 1 - j] of the in-scan-order buffer. *)
+  let contact = Array.make (n * (n - 1) / 2) 0 in
+  let count = ref 0 in
   let collect () =
-    contacts := [];
+    count := 0;
     for a = 0 to n - 1 do
       for b = a + 1 to n - 1 do
-        if in_range walkers.(a) walkers.(b) then contacts := (a, b) :: !contacts
+        if in_range a b then begin
+          contact.(!count) <- (a * n) + b;
+          incr count
+        end
       done
     done
   in
+  let advance_all () =
+    for u = 0 to n - 1 do
+      advance u
+    done
+  in
   fun _t ->
-    Array.iter advance walkers;
+    advance_all ();
     collect ();
-    while !contacts = [] do
-      Array.iter advance walkers;
+    while !count = 0 do
+      advance_all ();
       collect ()
     done;
-    let pairs = Array.of_list !contacts in
-    let a, b = Prng.choose rng pairs in
-    Interaction.make a b
+    let packed = contact.(!count - 1 - Prng.int rng !count) in
+    Interaction.make (packed / n) (packed mod n)
 
 let community rng ~n ~communities ~p_intra =
   if n < 2 then invalid_arg "Mobility.community: need at least two nodes";

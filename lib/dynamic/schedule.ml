@@ -1,55 +1,84 @@
 type source = Finite of Sequence.t | Generator of (int -> Interaction.t)
 
-type t = {
+(* Mutable schedule: lazily materialised prefix (generators) plus a
+   lazily extended index of sink meetings. Packed interactions live in
+   monomorphic int buffers, so materialisation is write-barrier-free. *)
+type live = {
   node_count : int;
   sink_id : int;
   source : source;
-  buf : Interaction.t Vec.t;  (* materialised prefix (generators only) *)
-  meets : int Vec.t array;  (* per node, times of its sink interactions *)
+  buf : Int_vec.t;  (* packed materialised prefix (generators only) *)
+  meets : Int_vec.t array;  (* per node, times of its sink interactions *)
   mutable indexed : int;  (* interactions whose sink meetings are indexed *)
 }
 
-let check_interaction t i =
-  if Interaction.v i >= t.node_count then
+(* Immutable compact form: a flat packed int array plus the complete
+   sink-meeting index. Nothing mutates after construction, so a frozen
+   schedule is safe to share read-only across domains. *)
+type frozen = {
+  f_node_count : int;
+  f_sink : int;
+  f_seq : Sequence.t;
+  f_meets : int array array;  (* per node, sorted sink-meeting times *)
+}
+
+type t = Live of live | Frozen of frozen
+
+let check_interaction ~n i =
+  if Interaction.v i >= n then
     invalid_arg "Schedule: interaction mentions a node id >= n"
 
 let make ~n ~sink source =
   if n < 2 then invalid_arg "Schedule: need at least two nodes";
   if sink < 0 || sink >= n then invalid_arg "Schedule: sink out of range";
-  {
-    node_count = n;
-    sink_id = sink;
-    source;
-    buf = Vec.create ~dummy:Interaction.dummy;
-    meets = Array.init n (fun _ -> Vec.create ~dummy:0);
-    indexed = 0;
-  }
+  Live
+    {
+      node_count = n;
+      sink_id = sink;
+      source;
+      buf = Int_vec.create ();
+      meets = Array.init n (fun _ -> Int_vec.create ());
+      indexed = 0;
+    }
 
 let of_sequence ~n ~sink seq =
   let t = make ~n ~sink (Finite seq) in
-  Sequence.iteri (fun _ i -> check_interaction t i) seq;
+  Sequence.iteri (fun _ i -> check_interaction ~n i) seq;
   t
 
 let of_fun ~n ~sink gen = make ~n ~sink (Generator gen)
 
-let n t = t.node_count
-let sink t = t.sink_id
+let n = function Live t -> t.node_count | Frozen f -> f.f_node_count
+let sink = function Live t -> t.sink_id | Frozen f -> f.f_sink
 
-let length t =
-  match t.source with Finite s -> Some (Sequence.length s) | Generator _ -> None
+let length = function
+  | Live t -> (
+      match t.source with
+      | Finite s -> Some (Sequence.length s)
+      | Generator _ -> None)
+  | Frozen f -> Some (Sequence.length f.f_seq)
 
-let materialized t =
-  match t.source with Finite s -> Sequence.length s | Generator _ -> Vec.length t.buf
+let materialized = function
+  | Live t -> (
+      match t.source with
+      | Finite s -> Sequence.length s
+      | Generator _ -> Int_vec.length t.buf)
+  | Frozen f -> Sequence.length f.f_seq
 
 (* Record sink meetings for all interactions up to index [upto]
    (exclusive) that have been materialised but not yet indexed. *)
 let index_upto t upto raw_get =
-  let stop = Stdlib.min upto (materialized t) in
+  let stop =
+    Stdlib.min upto
+      (match t.source with
+      | Finite s -> Sequence.length s
+      | Generator _ -> Int_vec.length t.buf)
+  in
   while t.indexed < stop do
     let i = raw_get t.indexed in
     if Interaction.involves i t.sink_id then begin
       let node = Interaction.other i t.sink_id in
-      Vec.push t.meets.(node) t.indexed
+      Int_vec.push t.meets.(node) t.indexed
     end;
     t.indexed <- t.indexed + 1
   done
@@ -57,80 +86,151 @@ let index_upto t upto raw_get =
 let raw_get t idx =
   match t.source with
   | Finite s -> Sequence.get s idx
-  | Generator _ -> Vec.get t.buf idx
+  | Generator _ -> Interaction.of_int_unchecked (Int_vec.get t.buf idx)
 
 let ensure t upto =
   (* Materialise interactions with index < upto where possible. *)
   (match t.source with
   | Finite _ -> ()
   | Generator gen ->
-      while Vec.length t.buf < upto do
-        let idx = Vec.length t.buf in
+      while Int_vec.length t.buf < upto do
+        let idx = Int_vec.length t.buf in
         let i = gen idx in
-        check_interaction t i;
-        Vec.push t.buf i
+        check_interaction ~n:t.node_count i;
+        Int_vec.push t.buf (Interaction.to_int i)
       done);
   index_upto t upto (raw_get t)
 
-let get t time =
+let get sched time =
   if time < 0 then invalid_arg "Schedule.get: negative time";
-  match t.source with
-  | Finite s -> if time < Sequence.length s then Some (Sequence.get s time) else None
-  | Generator _ ->
-      ensure t (time + 1);
-      Some (Vec.get t.buf time)
+  match sched with
+  | Live t -> (
+      match t.source with
+      | Finite s ->
+          if time < Sequence.length s then Some (Sequence.get s time) else None
+      | Generator _ ->
+          ensure t (time + 1);
+          Some (Interaction.of_int_unchecked (Int_vec.get t.buf time)))
+  | Frozen f ->
+      if time < Sequence.length f.f_seq then Some (Sequence.get f.f_seq time)
+      else None
 
 (* Allocation-free variant of [get]: the engine's hot loop calls this
    once per interaction, so no option wrapper. *)
-let get_exn t time =
+let get_exn sched time =
   if time < 0 then invalid_arg "Schedule.get_exn: negative time";
-  match t.source with
-  | Finite s ->
-      if time < Sequence.length s then Sequence.get s time
+  match sched with
+  | Live t -> (
+      match t.source with
+      | Finite s ->
+          if time < Sequence.length s then Sequence.get s time
+          else invalid_arg "Schedule.get_exn: past the end of a finite schedule"
+      | Generator _ ->
+          ensure t (time + 1);
+          Interaction.of_int_unchecked (Int_vec.get t.buf time))
+  | Frozen f ->
+      if time < Sequence.length f.f_seq then Sequence.get f.f_seq time
       else invalid_arg "Schedule.get_exn: past the end of a finite schedule"
-  | Generator _ ->
-      ensure t (time + 1);
-      Vec.get t.buf time
 
-let prefix t k =
+let backing = function
+  | Live { source = Finite s; _ } -> Some s
+  | Live { source = Generator _; _ } -> None
+  | Frozen f -> Some f.f_seq
+
+let prefix sched k =
   if k < 0 then invalid_arg "Schedule.prefix: negative length";
-  (match length t with
+  (match length sched with
   | Some len when len < k -> invalid_arg "Schedule.prefix: schedule too short"
   | _ -> ());
-  ensure t k;
-  Sequence.of_array (Array.init k (fun idx -> raw_get t idx))
+  match sched with
+  | Frozen f -> Sequence.sub f.f_seq ~pos:0 ~len:k
+  | Live t ->
+      ensure t k;
+      Sequence.of_array (Array.init k (fun idx -> raw_get t idx))
 
 (* First index in the sorted vector [v] whose value exceeds [x], or
-   [Vec.length v] if none. *)
+   [Int_vec.length v] if none. *)
 let first_above v x =
-  let lo = ref 0 and hi = ref (Vec.length v) in
+  let lo = ref 0 and hi = ref (Int_vec.length v) in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    if Vec.get v mid <= x then lo := mid + 1 else hi := mid
+    if Int_vec.get v mid <= x then lo := mid + 1 else hi := mid
   done;
   !lo
 
-let next_meet_with_sink t ~node ~after ~limit =
-  if node < 0 || node >= t.node_count then
+(* Same, over a plain sorted int array (frozen schedules). *)
+let first_above_arr (a : int array) x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Array.unsafe_get a mid <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let freeze sched =
+  match sched with
+  | Frozen _ -> sched
+  | Live t -> (
+      match t.source with
+      | Generator _ ->
+          invalid_arg
+            "Schedule.freeze: unbounded schedule (freeze a finite prefix \
+             instead)"
+      | Finite s ->
+          let n = t.node_count and sink = t.sink_id in
+          let meets = Array.init n (fun _ -> Int_vec.create ()) in
+          let len = Sequence.length s in
+          for time = 0 to len - 1 do
+            let i = Sequence.unsafe_get s time in
+            if Interaction.involves i sink then
+              Int_vec.push meets.(Interaction.other i sink) time
+          done;
+          Frozen
+            {
+              f_node_count = n;
+              f_sink = sink;
+              f_seq = s;
+              f_meets = Array.map Int_vec.to_array meets;
+            })
+
+let is_frozen = function Frozen _ -> true | Live _ -> false
+
+let next_meet_with_sink sched ~node ~after ~limit =
+  let count = n sched in
+  if node < 0 || node >= count then
     invalid_arg "Schedule.next_meet_with_sink: node out of range";
-  if node = t.sink_id then begin
+  if node = sink sched then begin
     let candidate = after + 1 in
     if candidate <= limit then Some candidate else None
   end
-  else begin
-    ensure t (limit + 1);
-    let v = t.meets.(node) in
-    let pos = first_above v after in
-    if pos < Vec.length v && Vec.get v pos <= limit then Some (Vec.get v pos)
-    else None
-  end
+  else
+    match sched with
+    | Live t ->
+        ensure t (limit + 1);
+        let v = t.meets.(node) in
+        let pos = first_above v after in
+        if pos < Int_vec.length v && Int_vec.get v pos <= limit then
+          Some (Int_vec.get v pos)
+        else None
+    | Frozen f ->
+        let a = f.f_meets.(node) in
+        let pos = first_above_arr a after in
+        if pos < Array.length a && a.(pos) <= limit then Some a.(pos) else None
 
-let meets_with_sink_upto t k =
-  ensure t k;
-  let counts = Array.make t.node_count 0 in
-  for node = 0 to t.node_count - 1 do
-    if node <> t.sink_id then
-      counts.(node) <- first_above t.meets.(node) (k - 1)
-  done;
-  counts.(t.sink_id) <- Array.fold_left ( + ) 0 counts;
+let meets_with_sink_upto sched k =
+  let count = n sched and sink_id = sink sched in
+  let counts = Array.make count 0 in
+  (match sched with
+  | Live t ->
+      ensure t k;
+      for node = 0 to count - 1 do
+        if node <> sink_id then
+          counts.(node) <- first_above t.meets.(node) (k - 1)
+      done
+  | Frozen f ->
+      for node = 0 to count - 1 do
+        if node <> sink_id then
+          counts.(node) <- first_above_arr f.f_meets.(node) (k - 1)
+      done);
+  counts.(sink_id) <- Array.fold_left ( + ) 0 counts;
   counts

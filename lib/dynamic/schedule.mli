@@ -11,14 +11,14 @@
     time after [t] at which a node interacts with the sink — is a
     binary search instead of a scan.
 
-    {b Not thread-safe.} Both the lazy materialisation and the sink
-    index mutate unsynchronised internal state ([Vec] buffers) on
-    access, including through ostensibly read-only calls such as
-    {!get} and {!next_meet_with_sink}. A schedule must be confined to
-    one domain: parallel replication code must build a fresh schedule
-    per replication inside each worker (the
-    {!Doda_sim.Experiment.run_schedule_factory} pattern), never share
-    one across domains. *)
+    {b Thread-safety.} A live schedule is {e not} thread-safe: lazy
+    materialisation and the sink index mutate unsynchronised internal
+    buffers on access, including through ostensibly read-only calls
+    such as {!get} and {!next_meet_with_sink}; it must stay confined to
+    one domain. A {e frozen} schedule ({!freeze}) is immutable — a flat
+    packed int array plus the complete sink-meeting index — and is safe
+    to share read-only across domains, e.g. one schedule per trace
+    swept by many algorithms on a {!Doda_sim.Pool}. *)
 
 type t
 
@@ -30,6 +30,18 @@ val of_sequence : n:int -> sink:int -> Sequence.t -> t
 val of_fun : n:int -> sink:int -> (int -> Interaction.t) -> t
 (** [of_fun ~n ~sink gen] materialises [gen t] on first access to time
     [t]; [gen] is called exactly once per index, in increasing order. *)
+
+val freeze : t -> t
+(** The compact immutable form of a finite schedule: the interaction
+    sequence as a flat packed int array plus the sink-meeting index
+    built once, eagerly, in one pass. Queries answer without mutating
+    anything, so the result can be shared read-only across domains and
+    reused by every algorithm sweeping the same trace. Freezing an
+    already frozen schedule is the identity.
+    @raise Invalid_argument on an unbounded (generator) schedule —
+    freeze a finite {!prefix} instead. *)
+
+val is_frozen : t -> bool
 
 val n : t -> int
 (** Number of nodes. *)
@@ -45,6 +57,11 @@ val get : t -> int -> Interaction.t option
 
 val get_exn : t -> int -> Interaction.t
 (** @raise Invalid_argument past the end of a finite schedule. *)
+
+val backing : t -> Sequence.t option
+(** The full backing sequence of a finite or frozen schedule, no copy —
+    the engine's hot loop iterates it directly as a flat int array.
+    [None] for generator schedules. *)
 
 val materialized : t -> int
 (** Number of interactions materialised so far. *)

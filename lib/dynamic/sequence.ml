@@ -9,6 +9,8 @@ let get s t =
   if t < 0 || t >= Array.length s then invalid_arg "Sequence.get: time out of bounds";
   s.(t)
 
+let unsafe_get (s : t) t = Array.unsafe_get s t
+let unsafe_array s = s
 let to_array s = Array.copy s
 let to_list = Array.to_list
 

@@ -20,6 +20,15 @@ val length : t -> int
 val get : t -> int -> Interaction.t
 (** [get s t] is [I_t]. @raise Invalid_argument out of bounds. *)
 
+val unsafe_get : t -> int -> Interaction.t
+(** [get] without the bounds check, for hot loops whose induction
+    variable is already bounded by {!length}. Out-of-range access is
+    undefined behaviour. *)
+
+val unsafe_array : t -> Interaction.t array
+(** The backing flat int array itself, no copy. Read-only by contract:
+    mutating it breaks every schedule built over the sequence. *)
+
 val to_array : t -> Interaction.t array
 (** Fresh copy. *)
 

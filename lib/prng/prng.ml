@@ -11,8 +11,9 @@ let copy g = { gen = Xoshiro256ss.copy g.gen; seeder = Splitmix64.copy g.seeder 
 
 let bits64 g = Xoshiro256ss.next g.gen
 
-(* Top 62 bits as a nonnegative OCaml int. *)
-let bits g = Int64.to_int (Int64.shift_right_logical (bits64 g) 2)
+(* Top 62 bits as a nonnegative OCaml int, via the unboxed fused
+   path. *)
+let bits g = Xoshiro256ss.next_bits g.gen ~drop:2
 
 let int g bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
@@ -35,7 +36,7 @@ let int_in g lo hi =
 
 let float g bound =
   (* 53 random bits mapped to [0, 1), scaled. *)
-  let r = Int64.to_int (Int64.shift_right_logical (bits64 g) 11) in
+  let r = Xoshiro256ss.next_bits g.gen ~drop:11 in
   float_of_int r /. 9007199254740992.0 *. bound
 
 let bool g = Int64.(shift_right_logical (bits64 g) 63) = 1L

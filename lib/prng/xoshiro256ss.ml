@@ -1,38 +1,67 @@
-type t = {
-  mutable s0 : int64;
-  mutable s1 : int64;
-  mutable s2 : int64;
-  mutable s3 : int64;
-}
+(* The four 64-bit state words live bit-cast in a flat float array.
+   Float-array loads and stores move unboxed words without the write
+   barrier, and [Int64.bits_of_float] / [float_of_bits] are free
+   register moves, so one [next_bits] call — load four words, a dozen
+   logical ops, store four words — allocates nothing. With the obvious
+   representation (a record of four mutable [int64] fields) every state
+   store allocated a fresh box and ran [caml_modify], and the PRNG
+   dominated the run time of every trace generator built on it. *)
 
-let rotl x k = Int64.(logor (shift_left x k) (shift_right_logical x (64 - k)))
+type t = float array
 
+let[@inline] rotl x k =
+  Int64.(logor (shift_left x k) (shift_right_logical x (64 - k)))
+
+let of_words s0 s1 s2 s3 =
+  [|
+    Int64.float_of_bits s0; Int64.float_of_bits s1;
+    Int64.float_of_bits s2; Int64.float_of_bits s3;
+  |]
+
+(* s3 down to s0: the state used to be built as a record literal whose
+   fields evaluate right to left, so the first SplitMix64 draw landed
+   in s3. Keep that order — every committed benchmark table depends on
+   the seeded stream. *)
 let create seed =
   let sm = Splitmix64.create seed in
-  {
-    s0 = Splitmix64.next sm;
-    s1 = Splitmix64.next sm;
-    s2 = Splitmix64.next sm;
-    s3 = Splitmix64.next sm;
-  }
+  let s3 = Splitmix64.next sm in
+  let s2 = Splitmix64.next sm in
+  let s1 = Splitmix64.next sm in
+  let s0 = Splitmix64.next sm in
+  of_words s0 s1 s2 s3
 
 let of_state (s0, s1, s2, s3) =
   if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then
     invalid_arg "Xoshiro256ss.of_state: all-zero state";
-  { s0; s1; s2; s3 }
+  of_words s0 s1 s2 s3
 
-let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+let copy = Array.copy
 
-let next g =
-  let result = Int64.mul (rotl (Int64.mul g.s1 5L) 7) 9L in
-  let t = Int64.shift_left g.s1 17 in
-  g.s2 <- Int64.logxor g.s2 g.s0;
-  g.s3 <- Int64.logxor g.s3 g.s1;
-  g.s1 <- Int64.logxor g.s1 g.s2;
-  g.s0 <- Int64.logxor g.s0 g.s3;
-  g.s2 <- Int64.logxor g.s2 t;
-  g.s3 <- rotl g.s3 45;
+(* One step of the xoshiro256** update, shared by [next] and
+   [next_bits]; kept monomorphic and local so both specialise to
+   straight-line unboxed code. *)
+let[@inline always] step (g : t) =
+  let s0 = Int64.bits_of_float (Array.unsafe_get g 0) in
+  let s1 = Int64.bits_of_float (Array.unsafe_get g 1) in
+  let s2 = Int64.bits_of_float (Array.unsafe_get g 2) in
+  let s3 = Int64.bits_of_float (Array.unsafe_get g 3) in
+  let result = Int64.mul (rotl (Int64.mul s1 5L) 7) 9L in
+  let t = Int64.shift_left s1 17 in
+  let s2 = Int64.logxor s2 s0 in
+  let s3 = Int64.logxor s3 s1 in
+  let s1 = Int64.logxor s1 s2 in
+  let s0 = Int64.logxor s0 s3 in
+  let s2 = Int64.logxor s2 t in
+  let s3 = rotl s3 45 in
+  Array.unsafe_set g 0 (Int64.float_of_bits s0);
+  Array.unsafe_set g 1 (Int64.float_of_bits s1);
+  Array.unsafe_set g 2 (Int64.float_of_bits s2);
+  Array.unsafe_set g 3 (Int64.float_of_bits s3);
   result
+
+let next g = step g
+
+let next_bits g ~drop = Int64.to_int (Int64.shift_right_logical (step g) drop)
 
 let jump_table =
   [| 0x180EC6D33CFD0ABAL; 0xD5A61266F0C9392CL; 0xA9582618E03FC9AAL;
@@ -40,19 +69,20 @@ let jump_table =
 
 let jump g =
   let s0 = ref 0L and s1 = ref 0L and s2 = ref 0L and s3 = ref 0L in
+  let word i = Int64.bits_of_float (Array.unsafe_get g i) in
   Array.iter
-    (fun word ->
+    (fun w ->
       for b = 0 to 63 do
-        if Int64.(logand word (shift_left 1L b)) <> 0L then begin
-          s0 := Int64.logxor !s0 g.s0;
-          s1 := Int64.logxor !s1 g.s1;
-          s2 := Int64.logxor !s2 g.s2;
-          s3 := Int64.logxor !s3 g.s3
+        if Int64.(logand w (shift_left 1L b)) <> 0L then begin
+          s0 := Int64.logxor !s0 (word 0);
+          s1 := Int64.logxor !s1 (word 1);
+          s2 := Int64.logxor !s2 (word 2);
+          s3 := Int64.logxor !s3 (word 3)
         end;
         ignore (next g)
       done)
     jump_table;
-  g.s0 <- !s0;
-  g.s1 <- !s1;
-  g.s2 <- !s2;
-  g.s3 <- !s3
+  Array.unsafe_set g 0 (Int64.float_of_bits !s0);
+  Array.unsafe_set g 1 (Int64.float_of_bits !s1);
+  Array.unsafe_set g 2 (Int64.float_of_bits !s2);
+  Array.unsafe_set g 3 (Int64.float_of_bits !s3)

@@ -19,6 +19,13 @@ val of_state : int64 * int64 * int64 * int64 -> t
 val next : t -> int64
 (** [next g] advances [g] and returns the next 64-bit output. *)
 
+val next_bits : t -> drop:int -> int
+(** [next_bits g ~drop] is
+    [Int64.to_int (Int64.shift_right_logical (next g) drop)], fused so
+    the 64-bit word is never boxed; the allocation-free path for every
+    integer and float draw in {!Prng}. [drop] must be at least 2 for
+    the result to fit an OCaml int. *)
+
 val jump : t -> unit
 (** [jump g] advances [g] by [2^128] steps; used to carve
     non-overlapping substreams out of one seed. *)
