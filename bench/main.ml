@@ -29,6 +29,7 @@ module Temporal = Doda_dynamic.Temporal
 module Static_graph = Doda_graph.Static_graph
 module Graph_gen = Doda_graph.Graph_gen
 module Engine = Doda_core.Engine
+module Run_log = Doda_core.Run_log
 module Convergecast = Doda_core.Convergecast
 module Cost = Doda_core.Cost
 module Knowledge = Doda_core.Knowledge
@@ -155,10 +156,12 @@ let e1 () =
         Array.of_list
           (List.filter_map
              (fun (r : Engine.result) ->
-               let times = List.map (fun tr -> tr.Engine.time) r.transmissions in
-               match List.rev times with
-               | last :: prev :: _ -> Some (float_of_int (last - prev))
-               | _ -> None)
+               let len = Run_log.length r.log in
+               if len >= 2 then
+                 Some
+                   (float_of_int
+                      (Run_log.time r.log (len - 1) - Run_log.time r.log (len - 2)))
+               else None)
              (Array.to_list results))
       in
       let m, se = mean_stderr waits in
@@ -632,10 +635,10 @@ let lemmas () =
               if meets.(v) > 0 then incr l_size
             done;
             let direct = ref 0 and relayed = ref 0 in
-            List.iter
-              (fun tr ->
-                if tr.Engine.receiver = 0 then incr direct else incr relayed)
-              r.Engine.transmissions;
+            Run_log.iter
+              (fun ~time:_ ~sender:_ ~receiver ->
+                if receiver = 0 then incr direct else incr relayed)
+              r.Engine.log;
             (float_of_int !l_size, float_of_int !direct, float_of_int !relayed))
       in
       let mean f = Descriptive.mean (Array.map f stats) in
@@ -1151,6 +1154,28 @@ let micro () =
              let rng = Prng.create 77 in
              let sched = Randomized.uniform_schedule rng ~n ~sink:0 in
              ignore (Engine.run ~record:`Count ~max_steps:(40 * n * n) Algorithms.gathering sched)));
+      (* Recording overhead of the run-core: count-only vs the flat SoA
+         log vs the seed's boxed list, the latter emulated through an
+         [on_transmit] observer consing exactly what the old engine
+         allocated per event. Same frozen schedule for all three. *)
+      Test.make ~name:"record/count-only"
+        (Staged.stage (fun () ->
+             ignore (Engine.run ~record:`Count Algorithms.gathering sched)));
+      Test.make ~name:"record/flat-log"
+        (Staged.stage (fun () ->
+             ignore (Engine.run ~record:`All Algorithms.gathering sched)));
+      Test.make ~name:"record/old-list"
+        (Staged.stage (fun () ->
+             let log = ref [] in
+             let obs =
+               Engine.observer
+                 ~on_transmit:(fun ~time ~sender ~receiver ->
+                   log := { Engine.time; sender; receiver } :: !log)
+                 ()
+             in
+             ignore
+               (Engine.run ~record:`Count ~observers:[ obs ]
+                  Algorithms.gathering sched)));
     ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in

@@ -65,7 +65,7 @@ let () =
         [
           algo.Doda_core.Algorithm.name;
           done_at;
-          string_of_int (List.length r.Engine.transmissions);
+          string_of_int r.Engine.transmission_count;
           cost;
         ])
     algorithms;

@@ -23,9 +23,19 @@ let () =
   let rng = Prng.create 2016 in
   let schedule = Schedule.of_fun ~n ~sink (Generators.uniform rng ~n) in
 
-  (* Run Gathering: transmit whenever possible, to the sink if present. *)
-  let result = Engine.run ~max_steps:100_000 Algorithms.gathering schedule in
-  Format.printf "Gathering on %d nodes:@.%a@.@." n Engine.pp_result result;
+  (* Run Gathering: transmit whenever possible, to the sink if present.
+     An observer streams transmissions as the run-core commits them. *)
+  let progress =
+    Engine.observer
+      ~on_transmit:(fun ~time ~sender ~receiver ->
+        Format.printf "t=%-5d %d -> %d@." time sender receiver)
+      ()
+  in
+  let result =
+    Engine.run ~max_steps:100_000 ~observers:[ progress ]
+      Algorithms.gathering schedule
+  in
+  Format.printf "@.Gathering on %d nodes:@.%a@.@." n Engine.pp_result result;
 
   (* Offline analysis on the exact sequence that was played. *)
   let played = Schedule.prefix schedule (Schedule.materialized schedule) in

@@ -92,7 +92,7 @@ let theorem2_search ?(trials = 100) ?(max_l = 0) ~n (algo : Doda_core.Algorithm.
     let survived = Array.make n 0 in
     for _ = 1 to trials do
       let r = Doda_core.Engine.run algo (sched ()) in
-      if r.Doda_core.Engine.transmissions = [] then incr silent;
+      if r.Doda_core.Engine.transmission_count = 0 then incr silent;
       Array.iteri
         (fun v holds -> if holds then survived.(v) <- survived.(v) + 1)
         r.Doda_core.Engine.holders

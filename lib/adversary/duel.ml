@@ -1,74 +1,40 @@
 module Engine = Doda_core.Engine
 module Interaction = Doda_dynamic.Interaction
 module Sequence = Doda_dynamic.Sequence
+module Int_vec = Doda_dynamic.Int_vec
 
-let run ?(knowledge = Doda_core.Knowledge.empty) ~max_steps ~n ~sink
-    (algo : Doda_core.Algorithm.t) (adv : Adversary.t) =
+(* The adversary is just a pull source for the engine's run-core: the
+   view is built from the live state right before each interaction is
+   chosen, and everything the adversary plays is kept (packed) so the
+   caller can re-analyse the exact sequence offline. Model enforcement
+   happens inside the engine — there is no second copy of the loop. *)
+let run ?(knowledge = Doda_core.Knowledge.empty) ?record ?observers ~max_steps
+    ~n ~sink (algo : Doda_core.Algorithm.t) (adv : Adversary.t) =
   if n < 2 then invalid_arg "Duel.run: need at least two nodes";
   if sink < 0 || sink >= n then invalid_arg "Duel.run: sink out of range";
-  Doda_core.Algorithm.check_knowledge algo.name knowledge algo.requires;
-  let instance = algo.make ~n ~sink knowledge in
-  let holds = Array.make n true in
-  let owners = ref n in
-  let transmissions = ref [] in
-  let tx_count = ref 0 in
-  let last : Engine.transmission option ref = ref None in
-  let played = ref [] in
-  let steps = ref 0 in
-  let stop = ref None in
-  while !stop = None do
-    if !owners = 1 then stop := Some Engine.All_aggregated
-    else if !steps >= max_steps then stop := Some Engine.Step_limit
-    else begin
-      let view =
-        { Adversary.time = !steps; holders = holds; last_transmission = !last }
-      in
-      match adv.next view with
-      | None -> stop := Some Engine.Schedule_exhausted
-      | Some i ->
-          if Interaction.v i >= n then
-            invalid_arg "Duel.run: adversary played a node id >= n";
-          played := i :: !played;
-          let t = !steps in
-          instance.observe ~time:t i;
-          let a = Interaction.u i and b = Interaction.v i in
-          if holds.(a) && holds.(b) then begin
-            match instance.decide ~time:t i with
-            | None -> ()
-            | Some receiver ->
-                if not (Interaction.involves i receiver) then
-                  invalid_arg
-                    (Printf.sprintf "Duel.run: %s returned a non-endpoint receiver"
-                       algo.name);
-                let sender = Interaction.other i receiver in
-                if sender = sink then
-                  invalid_arg
-                    (Printf.sprintf "Duel.run: %s made the sink transmit" algo.name);
-                holds.(sender) <- false;
-                decr owners;
-                let tr = { Engine.time = t; sender; receiver } in
-                transmissions := tr :: !transmissions;
-                incr tx_count;
-                last := Some tr
-          end;
-          incr steps
-    end
-  done;
-  let stop = Option.get !stop in
-  let duration =
-    match (stop, !last) with
-    | Engine.All_aggregated, Some tr -> Some tr.Engine.time
-    | Engine.All_aggregated, None -> Some (-1)  (* n = 1: vacuous *)
-    | (Engine.Schedule_exhausted | Engine.Step_limit), _ -> None
+  let played = Int_vec.create () in
+  let source st =
+    let view =
+      {
+        Adversary.time = Engine.time st;
+        holders = Engine.live_holders st;
+        last_transmission = Engine.last_transmission st;
+      }
+    in
+    match adv.Adversary.next view with
+    | None -> None
+    | Some i ->
+        if Interaction.v i >= n then
+          invalid_arg "Duel.run: adversary played a node id >= n";
+        Int_vec.push played (Interaction.to_int i);
+        Some i
   in
-  let result =
-    {
-      Engine.stop;
-      duration;
-      steps = !steps;
-      transmissions = List.rev !transmissions;
-      transmission_count = !tx_count;
-      holders = holds;
-    }
+  let st =
+    Engine.start_source ~knowledge ?record ?observers ~n ~sink ~source algo
   in
-  (result, Sequence.of_list (List.rev !played))
+  let result = Engine.run_state st ~max_steps in
+  let sequence =
+    Sequence.of_array
+      (Array.map Interaction.of_int_unchecked (Int_vec.to_array played))
+  in
+  (result, sequence)

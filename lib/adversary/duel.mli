@@ -3,13 +3,17 @@
     Unlike {!Doda_core.Engine.run}, the interaction at time [t] is
     chosen {e during} the run, after the adversary has seen everything
     up to [t - 1] — the adaptive online adversary of Section 2.2. The
-    model rules enforced are identical to the engine's. The recorded
+    adversary is plugged into the engine's run-core as a pull source
+    ({!Doda_core.Engine.start_source}), so the model rules enforced are
+    {e the same code} as the engine's, not a copy. The recorded
     sequence is returned so offline analyses (cost, optimal
     convergecasts) can be applied to exactly what the adversary
     played. *)
 
 val run :
   ?knowledge:Doda_core.Knowledge.t ->
+  ?record:[ `All | `Count ] ->
+  ?observers:Doda_core.Engine.observer list ->
   max_steps:int ->
   n:int -> sink:int ->
   Doda_core.Algorithm.t -> Adversary.t ->
@@ -19,7 +23,8 @@ val run :
     {!Doda_core.Knowledge.empty} — an adaptive adversary's future does
     not exist ahead of time, so no future-dependent oracle can be
     offered; underlying-graph knowledge can be injected by the caller
-    when the adversary guarantees it by construction.
+    when the adversary guarantees it by construction. [record] and
+    [observers] as in {!Doda_core.Engine.run}.
 
     @raise Invalid_argument on knowledge the algorithm requires but the
     caller did not supply, on invalid [n]/[sink], or on an adversary

@@ -1,7 +1,11 @@
 module Schedule = Doda_dynamic.Schedule
 module Interaction = Doda_dynamic.Interaction
 
-type transmission = { time : int; sender : int; receiver : int }
+type transmission = Run_log.transmission = {
+  time : int;
+  sender : int;
+  receiver : int;
+}
 
 type stop_reason = All_aggregated | Schedule_exhausted | Step_limit
 
@@ -9,26 +13,73 @@ type result = {
   stop : stop_reason;
   duration : int option;
   steps : int;
-  transmissions : transmission list;
+  log : Run_log.t;
   transmission_count : int;
   holders : bool array;
 }
 
+let transmissions r = Run_log.to_list r.log
+
+type observer = {
+  obs_step : (time:int -> Interaction.t -> unit) option;
+  obs_transmit : (time:int -> sender:int -> receiver:int -> unit) option;
+  obs_finish : (result -> unit) option;
+}
+
+let observer ?on_step ?on_transmit ?on_finish () =
+  { obs_step = on_step; obs_transmit = on_transmit; obs_finish = on_finish }
+
 type state = {
   algo_name : string;
-  schedule : Schedule.t;
+  source : state -> Interaction.t option;
   instance : Algorithm.instance;
   sink : int;
   record_log : bool;
   holds : bool array;
+  step_obs : (time:int -> Interaction.t -> unit) array;
+  transmit_obs : (time:int -> sender:int -> receiver:int -> unit) array;
+  finish_obs : (result -> unit) array;
+  has_step_obs : bool;
+      (* [Array.length step_obs > 0], precomputed: the run-core tests
+         one immutable bool per interaction, so the no-observer hot
+         path stays branch-predictable and allocation-free. *)
+  log : Run_log.t;
   mutable owner_count : int;
   mutable clock : int;
-  mutable log : transmission list;  (* reverse chronological *)
   mutable tx_count : int;
   mutable last_time : int;
+  mutable last_sender : int;
+  mutable last_receiver : int;
 }
 
-let start ?knowledge ?(record = `All) (algo : Algorithm.t) schedule =
+let make_state ~algo_name ~instance ~sink ~record ~observers ~source ~n =
+  let step_obs =
+    Array.of_list (List.filter_map (fun o -> o.obs_step) observers)
+  in
+  {
+    algo_name;
+    source;
+    instance;
+    sink;
+    record_log = (record = `All);
+    holds = Array.make n true;
+    step_obs;
+    transmit_obs =
+      Array.of_list (List.filter_map (fun o -> o.obs_transmit) observers);
+    finish_obs =
+      Array.of_list (List.filter_map (fun o -> o.obs_finish) observers);
+    has_step_obs = Array.length step_obs > 0;
+    log = Run_log.create ();
+    owner_count = n;
+    clock = 0;
+    tx_count = 0;
+    last_time = -1;
+    last_sender = -1;
+    last_receiver = -1;
+  }
+
+let start ?knowledge ?(record = `All) ?(observers = []) (algo : Algorithm.t)
+    schedule =
   let n = Schedule.n schedule in
   let sink = Schedule.sink schedule in
   let knowledge =
@@ -37,19 +88,23 @@ let start ?knowledge ?(record = `All) (algo : Algorithm.t) schedule =
     | None -> Knowledge.for_schedule schedule algo.requires
   in
   Algorithm.check_knowledge algo.name knowledge algo.requires;
-  {
-    algo_name = algo.name;
-    schedule;
-    instance = algo.make ~n ~sink knowledge;
-    sink;
-    record_log = (record = `All);
-    holds = Array.make n true;
-    owner_count = n;
-    clock = 0;
-    log = [];
-    tx_count = 0;
-    last_time = -1;
-  }
+  make_state ~algo_name:algo.name
+    ~instance:(algo.make ~n ~sink knowledge)
+    ~sink ~record ~observers
+    ~source:(fun st -> Schedule.get schedule st.clock)
+    ~n
+
+let start_source ?(knowledge = Knowledge.empty) ?record ?observers ~n ~sink
+    ~source (algo : Algorithm.t) =
+  if n < 1 then invalid_arg "Engine.start_source: need at least one node";
+  if sink < 0 || sink >= n then
+    invalid_arg "Engine.start_source: sink out of range";
+  Algorithm.check_knowledge algo.name knowledge algo.requires;
+  make_state ~algo_name:algo.name
+    ~instance:(algo.make ~n ~sink knowledge)
+    ~sink ~record:(Option.value record ~default:`All)
+    ~observers:(Option.value observers ~default:[])
+    ~source ~n
 
 type step_outcome = Stepped of transmission option | Finished of stop_reason
 
@@ -68,49 +123,98 @@ let commit st ~t ~i receiver =
   st.owner_count <- st.owner_count - 1;
   st.tx_count <- st.tx_count + 1;
   st.last_time <- t;
+  st.last_sender <- sender;
+  st.last_receiver <- receiver;
   sender
+
+(* Out of line so [exec_step] stays small: only runs when an observer
+   of the matching kind is installed. *)
+let notify_step st ~t i =
+  let obs = st.step_obs in
+  for k = 0 to Array.length obs - 1 do
+    (Array.unsafe_get obs k) ~time:t i
+  done
+
+let notify_transmit st ~t ~sender ~receiver =
+  let obs = st.transmit_obs in
+  for k = 0 to Array.length obs - 1 do
+    (Array.unsafe_get obs k) ~time:t ~sender ~receiver
+  done
+
+(* The run-core: process interaction [i] at time [t]. Every execution —
+   schedule-backed [run], adversary-backed [run_state], and the manual
+   [step] API — goes through this one function, so model enforcement
+   and observation cannot diverge between drivers. [instance] and
+   [holds] are [st.instance]/[st.holds], hoisted by callers whose loop
+   is hot. *)
+let[@inline] exec_step st (instance : Algorithm.instance) holds ~t i =
+  instance.observe ~time:t i;
+  let a = Interaction.u i and b = Interaction.v i in
+  (if holds.(a) && holds.(b) then
+     match instance.decide ~time:t i with
+     | None -> ()
+     | Some receiver ->
+         let sender = commit st ~t ~i receiver in
+         if st.record_log then Run_log.add st.log ~time:t ~sender ~receiver;
+         if Array.length st.transmit_obs > 0 then
+           notify_transmit st ~t ~sender ~receiver);
+  if st.has_step_obs then notify_step st ~t i;
+  st.clock <- t + 1
 
 let step st =
   if st.owner_count = 1 then Finished All_aggregated
   else
-    match Schedule.get st.schedule st.clock with
+    match st.source st with
     | None -> Finished Schedule_exhausted
     | Some i ->
-        let t = st.clock in
-        st.instance.observe ~time:t i;
-        let a = Interaction.u i and b = Interaction.v i in
-        let outcome =
-          if st.holds.(a) && st.holds.(b) then begin
-            match st.instance.decide ~time:t i with
-            | None -> None
-            | Some receiver ->
-                let sender = commit st ~t ~i receiver in
-                let tr = { time = t; sender; receiver } in
-                if st.record_log then st.log <- tr :: st.log;
-                Some tr
-          end
-          else None
-        in
-        st.clock <- st.clock + 1;
-        Stepped outcome
+        let before = st.tx_count in
+        exec_step st st.instance st.holds ~t:st.clock i;
+        Stepped
+          (if st.tx_count > before then
+             Some
+               {
+                 time = st.last_time;
+                 sender = st.last_sender;
+                 receiver = st.last_receiver;
+               }
+           else None)
 
 let time st = st.clock
 let owners st = st.owner_count
 let owns st v = st.holds.(v)
 let holders_snapshot st = Array.copy st.holds
-let transmissions_so_far st = List.rev st.log
+let live_holders st = st.holds
+
+let last_transmission st =
+  if st.tx_count = 0 then None
+  else
+    Some
+      {
+        time = st.last_time;
+        sender = st.last_sender;
+        receiver = st.last_receiver;
+      }
+
+let transmissions_so_far st = Run_log.to_list st.log
 
 let finish st stop =
-  {
-    stop;
-    duration = (if stop = All_aggregated then Some st.last_time else None);
-    steps = st.clock;
-    transmissions = List.rev st.log;
-    transmission_count = st.tx_count;
-    holders = st.holds;
-  }
+  let result =
+    {
+      stop;
+      duration = (if stop = All_aggregated then Some st.last_time else None);
+      steps = st.clock;
+      log = st.log;
+      transmission_count = st.tx_count;
+      holders = Array.copy st.holds;
+    }
+  in
+  let obs = st.finish_obs in
+  for k = 0 to Array.length obs - 1 do
+    (Array.unsafe_get obs k) result
+  done;
+  result
 
-let run ?knowledge ?max_steps ?record (algo : Algorithm.t) schedule =
+let run ?knowledge ?max_steps ?record ?observers (algo : Algorithm.t) schedule =
   let limit =
     match (max_steps, Schedule.length schedule) with
     | Some m, Some len -> Stdlib.min m len
@@ -119,37 +223,26 @@ let run ?knowledge ?max_steps ?record (algo : Algorithm.t) schedule =
     | None, None ->
         invalid_arg "Engine.run: max_steps is mandatory for unbounded schedules"
   in
-  let st = start ?knowledge ?record algo schedule in
+  let st = start ?knowledge ?record ?observers algo schedule in
   (* Hot loop. Equivalent to iterating [step], but without the
      per-interaction [Stepped]/[option] wrappers: [clock < limit]
      guarantees the schedule has an interaction at [clock] (finite
      schedules because [limit <= length]; generators never run out). *)
   let instance = st.instance and holds = st.holds in
-  let body t i =
-    instance.observe ~time:t i;
-    let a = Interaction.u i and b = Interaction.v i in
-    (if holds.(a) && holds.(b) then
-       match instance.decide ~time:t i with
-       | None -> ()
-       | Some receiver ->
-           let sender = commit st ~t ~i receiver in
-           if st.record_log then st.log <- { time = t; sender; receiver } :: st.log);
-    st.clock <- t + 1
-  in
   (match Schedule.backing schedule with
   | Some seq ->
       (* Finite or frozen: [limit <= length], so iterate the backing
          flat packed int array directly — no per-step dispatch. *)
       while st.owner_count > 1 && st.clock < limit do
         let t = st.clock in
-        body t (Doda_dynamic.Sequence.unsafe_get seq t)
+        exec_step st instance holds ~t (Doda_dynamic.Sequence.unsafe_get seq t)
       done
   | None ->
       (* Generator: the allocation-free [Schedule.get_exn] materialises
          as it goes. *)
       while st.owner_count > 1 && st.clock < limit do
         let t = st.clock in
-        body t (Schedule.get_exn schedule t)
+        exec_step st instance holds ~t (Schedule.get_exn schedule t)
       done);
   let reason =
     if st.owner_count = 1 then All_aggregated
@@ -160,10 +253,23 @@ let run ?knowledge ?max_steps ?record (algo : Algorithm.t) schedule =
   in
   finish st reason
 
+let run_state st ~max_steps =
+  let instance = st.instance and holds = st.holds in
+  let stop = ref None in
+  while !stop = None do
+    if st.owner_count = 1 then stop := Some All_aggregated
+    else if st.clock >= max_steps then stop := Some Step_limit
+    else
+      match st.source st with
+      | None -> stop := Some Schedule_exhausted
+      | Some i -> exec_step st instance holds ~t:st.clock i
+  done;
+  finish st (Option.get !stop)
+
 let transmissions_of_node result node =
   List.filter
     (fun tr -> tr.sender = node || tr.receiver = node)
-    result.transmissions
+    (transmissions result)
 
 let count_owners result =
   Array.fold_left (fun acc h -> if h then acc + 1 else acc) 0 result.holders
@@ -175,8 +281,8 @@ let pp_result ppf r =
     | Schedule_exhausted -> "schedule exhausted"
     | Step_limit -> "step limit"
   in
-  Format.fprintf ppf "@[<v>stop: %s@,steps: %d@,transmissions: %d@," reason r.steps
-    r.transmission_count;
+  Format.fprintf ppf "@[<v>stop: %s@,steps: %d@,transmissions: %d@," reason
+    r.steps r.transmission_count;
   (match r.duration with
   | Some d -> Format.fprintf ppf "duration: %d@," d
   | None -> Format.fprintf ppf "duration: -@,");

@@ -8,11 +8,18 @@
     longer receive. The run terminates when the sink is the only node
     owning data.
 
-    {!run} executes to completion; the {!state} API steps one
-    interaction at a time, for debuggers, visualisations and tests that
-    inspect intermediate states. *)
+    Every execution goes through one run-core: {!run} drives it from a
+    schedule, {!run_state} from an arbitrary pull source (how
+    {!Doda_adversary.Duel} plays adaptive adversaries), and the
+    {!state} API steps it one interaction at a time for debuggers,
+    visualisations and tests. Model enforcement therefore lives in
+    exactly one place, and {!observer}s can watch any of them. *)
 
-type transmission = { time : int; sender : int; receiver : int }
+type transmission = Run_log.transmission = {
+  time : int;
+  sender : int;
+  receiver : int;
+}
 
 type stop_reason =
   | All_aggregated  (** the sink is the only data owner *)
@@ -25,18 +32,51 @@ type result = {
       (** Time (interaction index) of the final transmission, when
           [stop = All_aggregated]; the paper's [duration(A, I)]. *)
   steps : int;  (** Interactions processed. *)
-  transmissions : transmission list;
-      (** Chronological. Empty when the run recorded with [`Count]. *)
+  log : Run_log.t;
+      (** Flat transmission log, chronological. Empty when the run
+          recorded with [`Count]. *)
   transmission_count : int;
       (** Number of transmissions, regardless of recording mode. *)
-  holders : bool array;  (** Who still owns data at the end. *)
+  holders : bool array;
+      (** Who still owns data at the end. A fresh copy: mutating it
+          cannot corrupt a live {!state} or other results. *)
 }
+
+val transmissions : result -> transmission list
+(** [Run_log.to_list result.log] — the seed engine's boxed
+    chronological list, for consumers that want one. *)
+
+(** {1 Observers}
+
+    An observer watches a run from the outside: streaming progress,
+    live validation, metric counters. All three callbacks are
+    optional; an engine with no step observers pays one boolean test
+    per interaction, so the [`Count] measurement path stays
+    allocation-free. *)
+
+type observer
+
+val observer :
+  ?on_step:(time:int -> Doda_dynamic.Interaction.t -> unit) ->
+  ?on_transmit:(time:int -> sender:int -> receiver:int -> unit) ->
+  ?on_finish:(result -> unit) ->
+  unit ->
+  observer
+(** [on_step] fires after every interaction is processed (transmitting
+    or not); [on_transmit] after each committed transmission;
+    [on_finish] once, with the packaged result (each time {!finish} is
+    called, for manual steppers). *)
 
 (** {1 Whole runs} *)
 
 val run :
-  ?knowledge:Knowledge.t -> ?max_steps:int -> ?record:[ `All | `Count ] ->
-  Algorithm.t -> Doda_dynamic.Schedule.t -> result
+  ?knowledge:Knowledge.t ->
+  ?max_steps:int ->
+  ?record:[ `All | `Count ] ->
+  ?observers:observer list ->
+  Algorithm.t ->
+  Doda_dynamic.Schedule.t ->
+  result
 (** [run algo sched] executes [algo] against [sched].
 
     [knowledge] defaults to [Knowledge.for_schedule sched algo.requires]
@@ -48,7 +88,7 @@ val run :
 
     [record] (default [`All]) selects what the result carries. [`All]
     records the full transmission log. [`Count] skips the per-event log
-    allocation — [result.transmissions] is [[]] — and keeps only
+    append — [result.log] is empty — and keeps only
     [transmission_count]; [stop], [duration], [steps] and [holders] are
     identical to an [`All] run (a determinism regression test enforces
     this). Use [`Count] on replication-heavy measurement paths that
@@ -65,11 +105,35 @@ type state
 (** A run in progress. *)
 
 val start :
-  ?knowledge:Knowledge.t -> ?record:[ `All | `Count ] ->
-  Algorithm.t -> Doda_dynamic.Schedule.t -> state
+  ?knowledge:Knowledge.t ->
+  ?record:[ `All | `Count ] ->
+  ?observers:observer list ->
+  Algorithm.t ->
+  Doda_dynamic.Schedule.t ->
+  state
 (** [start algo sched] initialises a run without executing anything.
     [record] as in {!run} (default [`All] — steppers usually want the
     log). @raise Invalid_argument on missing knowledge. *)
+
+val start_source :
+  ?knowledge:Knowledge.t ->
+  ?record:[ `All | `Count ] ->
+  ?observers:observer list ->
+  n:int ->
+  sink:int ->
+  source:(state -> Doda_dynamic.Interaction.t option) ->
+  Algorithm.t ->
+  state
+(** [start_source ~n ~sink ~source algo] initialises a run whose
+    interactions are pulled from [source] instead of a pre-committed
+    schedule — the hook adaptive adversaries plug into. [source st] is
+    asked for the interaction at time [time st] and may inspect the
+    live state (e.g. {!live_holders}); [None] ends the execution.
+    [knowledge] defaults to [Knowledge.empty]: a pull source has no
+    future to build oracles from.
+
+    @raise Invalid_argument on invalid [n]/[sink] or missing
+    knowledge. *)
 
 type step_outcome =
   | Stepped of transmission option
@@ -84,6 +148,10 @@ val step : state -> step_outcome
 (** Process the next interaction.
     @raise Invalid_argument on algorithm misbehaviour. *)
 
+val run_state : state -> max_steps:int -> result
+(** Drive a state to completion through the same run-core as {!run}:
+    stops at aggregation, source exhaustion, or [max_steps]. *)
+
 val time : state -> int
 (** Interactions processed so far. *)
 
@@ -95,12 +163,21 @@ val owns : state -> int -> bool
 val holders_snapshot : state -> bool array
 (** Fresh copy of the ownership vector. *)
 
+val live_holders : state -> bool array
+(** The engine's own ownership vector, no copy — read-only by
+    contract (mutating it corrupts the run). For per-step consumers
+    (adversary views, observers) that must not allocate. *)
+
+val last_transmission : state -> transmission option
+(** Most recent transmission, if any — tracked even under [`Count]
+    recording. *)
+
 val transmissions_so_far : state -> transmission list
 (** Chronological. Empty under [`Count] recording. *)
 
 val finish : state -> stop_reason -> result
 (** Package the current state as a {!result} (e.g. after deciding to
-    stop at a step limit). *)
+    stop at a step limit). Runs [on_finish] observers. *)
 
 (** {1 Result helpers} *)
 

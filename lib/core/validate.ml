@@ -21,50 +21,61 @@ let pp_violation ppf v =
   | Sink_transmitted i -> p "transmission #%d: sink as sender" i
   | Duplicate_sender i -> p "transmission #%d: sender transmits twice" i
 
-let execution ~n ~sink s transmissions =
+let execution ~n ~sink s (log : Run_log.t) =
+  let len = Run_log.length log in
   let holds = Array.make n true in
+  (* Earliest time at which each node appears as a sender anywhere in
+     the log — one pass, so the duplicate-sender check below is O(1)
+     per entry instead of a scan of the whole log. *)
+  let first_fire = Array.make n max_int in
+  for idx = 0 to len - 1 do
+    let sender = Run_log.sender log idx in
+    if sender >= 0 && sender < n then
+      first_fire.(sender) <- Stdlib.min first_fire.(sender) (Run_log.time log idx)
+  done;
   let violations = ref [] in
   let flag v = violations := v :: !violations in
   let previous_time = ref (-1) in
-  List.iteri
-    (fun idx (tr : Engine.transmission) ->
-      if tr.time <= !previous_time then flag (Out_of_order idx);
-      previous_time := Stdlib.max !previous_time tr.time;
-      if tr.time < 0 || tr.time >= Sequence.length s then flag (Bad_time idx)
-      else begin
-        let i = Sequence.get s tr.time in
-        if
-          not
-            (Interaction.involves i tr.sender
-            && Interaction.involves i tr.receiver
-            && tr.sender <> tr.receiver)
-        then flag (Wrong_interaction idx)
-      end;
-      if tr.sender = sink then flag (Sink_transmitted idx);
-      if tr.sender >= 0 && tr.sender < n then begin
-        if not holds.(tr.sender) then flag (Sender_without_data idx);
-        (* A sender without data is also a duplicate if it appeared as
-           sender before; distinguish for clearer reports. *)
-        if
-          List.exists
-            (fun (other : Engine.transmission) ->
-              other != tr && other.sender = tr.sender && other.time < tr.time)
-            transmissions
-          && not holds.(tr.sender)
-        then flag (Duplicate_sender idx)
-      end;
-      if tr.receiver >= 0 && tr.receiver < n && not holds.(tr.receiver) then
-        flag (Receiver_without_data idx);
-      if tr.sender >= 0 && tr.sender < n then holds.(tr.sender) <- false)
-    transmissions;
+  let slen = Sequence.length s in
+  for idx = 0 to len - 1 do
+    let time = Run_log.time log idx
+    and sender = Run_log.sender log idx
+    and receiver = Run_log.receiver log idx in
+    if time <= !previous_time then flag (Out_of_order idx);
+    previous_time := Stdlib.max !previous_time time;
+    if time < 0 || time >= slen then flag (Bad_time idx)
+    else begin
+      let i = Sequence.get s time in
+      if
+        not
+          (Interaction.involves i sender
+          && Interaction.involves i receiver
+          && sender <> receiver)
+      then flag (Wrong_interaction idx)
+    end;
+    if sender = sink then flag (Sink_transmitted idx);
+    if sender >= 0 && sender < n then begin
+      if not holds.(sender) then flag (Sender_without_data idx);
+      (* A sender without data is also a duplicate if it appeared as
+         sender at a strictly earlier time; distinguish for clearer
+         reports. *)
+      if first_fire.(sender) < time && not holds.(sender) then
+        flag (Duplicate_sender idx)
+    end;
+    if receiver >= 0 && receiver < n && not holds.(receiver) then
+      flag (Receiver_without_data idx);
+    if sender >= 0 && sender < n then holds.(sender) <- false
+  done;
   List.rev !violations
 
-let complete ~n ~sink s transmissions =
-  execution ~n ~sink s transmissions = []
-  && List.length transmissions = n - 1
+let complete ~n ~sink s (log : Run_log.t) =
+  execution ~n ~sink s log = []
+  && Run_log.length log = n - 1
   &&
   let sent = Array.make n false in
-  List.iter (fun (tr : Engine.transmission) -> sent.(tr.sender) <- true) transmissions;
+  for idx = 0 to Run_log.length log - 1 do
+    sent.(Run_log.sender log idx) <- true
+  done;
   let all = ref true in
   for v = 0 to n - 1 do
     if v <> sink && not sent.(v) then all := false
@@ -72,20 +83,20 @@ let complete ~n ~sink s transmissions =
   !all
 
 let plan ~n ~sink s (p : Convergecast.plan) =
-  let log = ref [] in
+  let entries = ref [] in
   for v = 0 to n - 1 do
     if v <> sink && p.Convergecast.fire_time.(v) >= 0 then
-      log :=
+      entries :=
         {
-          Engine.time = p.Convergecast.fire_time.(v);
+          Run_log.time = p.Convergecast.fire_time.(v);
           sender = v;
           receiver = p.Convergecast.fire_to.(v);
         }
-        :: !log
+        :: !entries
   done;
   let chronological =
     List.sort
-      (fun (a : Engine.transmission) b -> Int.compare a.time b.time)
-      !log
+      (fun (a : Run_log.transmission) b -> Int.compare a.time b.time)
+      !entries
   in
-  execution ~n ~sink s chronological
+  execution ~n ~sink s (Run_log.of_list chronological)

@@ -3,7 +3,7 @@
     A second, deliberately simple implementation of the model rules,
     used to cross-check the engine and the plan extractor in tests
     (redundancy against bugs in the main path), and to vet externally
-    produced schedules. *)
+    produced schedules. Runs in O(T + n) over the flat {!Run_log}. *)
 
 type violation =
   | Out_of_order of int  (** transmission index not in time order *)
@@ -18,14 +18,14 @@ type violation =
 val pp_violation : Format.formatter -> violation -> unit
 
 val execution :
-  n:int -> sink:int -> Doda_dynamic.Sequence.t -> Engine.transmission list ->
-  violation list
-(** [execution ~n ~sink s transmissions] replays the transmission log
-    against the model rules; returns all violations ([[]] iff the log
-    is a valid partial execution). *)
+  n:int -> sink:int -> Doda_dynamic.Sequence.t -> Run_log.t -> violation list
+(** [execution ~n ~sink s log] replays the transmission log against the
+    model rules; returns all violations ([[]] iff the log is a valid
+    partial execution). Hand-built lists go through
+    {!Run_log.of_list}. *)
 
 val complete :
-  n:int -> sink:int -> Doda_dynamic.Sequence.t -> Engine.transmission list -> bool
+  n:int -> sink:int -> Doda_dynamic.Sequence.t -> Run_log.t -> bool
 (** Valid {e and} every non-sink node transmitted — a full aggregation. *)
 
 val plan :

@@ -1,19 +1,12 @@
 module Engine = Doda_core.Engine
+module Run_log = Doda_core.Run_log
 
 let aggregation_parent ~n (r : Engine.result) =
-  let parent = Array.make n (-1) in
-  List.iter (fun tr -> parent.(tr.Engine.sender) <- tr.Engine.receiver) r.transmissions;
-  parent
-
-(* For each node, the time at which it transmitted (-1 if never). *)
-let fire_times ~n (r : Engine.result) =
-  let fire = Array.make n (-1) in
-  List.iter (fun tr -> fire.(tr.Engine.sender) <- tr.Engine.time) r.transmissions;
-  fire
+  Array.copy (Run_log.parents r.log ~n)
 
 let datum_route ~n ~sink (r : Engine.result) v =
-  let parent = aggregation_parent ~n r in
-  let fire = fire_times ~n r in
+  let parent = Run_log.parents r.log ~n in
+  let fire = Run_log.fire_times r.log ~n in
   let rec walk carrier acc =
     if carrier = sink || parent.(carrier) < 0 then List.rev acc
     else
@@ -22,16 +15,49 @@ let datum_route ~n ~sink (r : Engine.result) v =
   in
   if v = sink then [] else walk v []
 
+(* Delivery time of [v]'s datum: once [v] transmits to its parent [p],
+   the datum travels inside [p]'s aggregate, so it reaches the sink
+   exactly when [p]'s does. Memoising that recurrence makes the whole
+   array one O(n) pass over the cached parent/fire arrays instead of
+   one chain walk per node. *)
 let delivery_times ~n ~sink r =
+  let parent = Run_log.parents ~n r.Engine.log in
+  let fire = Run_log.fire_times ~n r.Engine.log in
+  let memo = Array.make n (-2) (* -2 unknown, -1 undelivered, >= 0 time *) in
+  let rec solve v =
+    if memo.(v) <> -2 then memo.(v)
+    else begin
+      let d =
+        if v = sink then -1
+        else
+          let p = parent.(v) in
+          if p < 0 then -1 else if p = sink then fire.(v) else solve p
+      in
+      memo.(v) <- d;
+      d
+    end
+  in
   Array.init n (fun v ->
       if v = sink then None
-      else
-        match List.rev (datum_route ~n ~sink r v) with
-        | (t, carrier) :: _ when carrier = sink -> Some t
-        | _ -> None)
+      else match solve v with -1 -> None | t -> Some t)
 
 let hop_counts ~n ~sink r =
-  Array.init n (fun v -> List.length (datum_route ~n ~sink r v))
+  let parent = Run_log.parents ~n r.Engine.log in
+  let memo = Array.make n (-1) in
+  let rec solve v =
+    if memo.(v) >= 0 then memo.(v)
+    else begin
+      let h =
+        if v = sink then 0
+        else
+          let p = parent.(v) in
+          if p < 0 then 0 else 1 + solve p
+      in
+      memo.(v) <- h;
+      h
+    end
+  in
+  Array.init n solve
 
 let mean_delivery_time ~n ~sink r =
   let times =

@@ -1,4 +1,5 @@
 module Engine = Doda_core.Engine
+module Run_log = Doda_core.Run_log
 
 let render ?(width = 64) ~n ~sink (result : Engine.result) =
   let horizon = Stdlib.max 1 result.steps in
@@ -6,18 +7,18 @@ let render ?(width = 64) ~n ~sink (result : Engine.result) =
   let rows = Array.init n (fun _ -> Bytes.make width '.') in
   (* Blank out each sender's row after its transmission; mark the
      receiving buckets. *)
-  List.iter
-    (fun tr ->
-      let b = bucket tr.Engine.time in
-      let sender_row = rows.(tr.Engine.sender) in
+  Run_log.iter
+    (fun ~time ~sender ~receiver ->
+      let b = bucket time in
+      let sender_row = rows.(sender) in
       Bytes.set sender_row b '>';
       for i = b + 1 to width - 1 do
         Bytes.set sender_row i ' '
       done;
-      let receiver_row = rows.(tr.Engine.receiver) in
+      let receiver_row = rows.(receiver) in
       if Bytes.get receiver_row b = '.' then
-        Bytes.set receiver_row b (if tr.Engine.receiver = sink then '#' else '+'))
-    result.transmissions;
+        Bytes.set receiver_row b (if receiver = sink then '#' else '+'))
+    result.log;
   let buf = Buffer.create (n * (width + 16)) in
   Buffer.add_string buf
     (Printf.sprintf "time 0 .. %d (one column ~ %d interactions)\n" horizon
@@ -31,10 +32,8 @@ let render ?(width = 64) ~n ~sink (result : Engine.result) =
 
 let transmissions_table (result : Engine.result) =
   let buf = Buffer.create 256 in
-  List.iter
-    (fun tr ->
-      Buffer.add_string buf
-        (Printf.sprintf "t=%-6d %d -> %d\n" tr.Engine.time tr.Engine.sender
-           tr.Engine.receiver))
-    result.transmissions;
+  Run_log.iter
+    (fun ~time ~sender ~receiver ->
+      Buffer.add_string buf (Printf.sprintf "t=%-6d %d -> %d\n" time sender receiver))
+    result.log;
   Buffer.contents buf

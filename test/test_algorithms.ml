@@ -29,7 +29,7 @@ let test_waiting_transmits_only_to_sink () =
   Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated);
   List.iter
     (fun tr -> Alcotest.(check int) "receiver is sink" 0 tr.Engine.receiver)
-    r.transmissions
+    (Engine.transmissions r)
 
 let test_waiting_terminates_on_round_robin () =
   let s = Schedule.of_fun ~n:6 ~sink:0 (Generators.round_robin ~n:6) in
@@ -44,19 +44,19 @@ let test_gathering_always_transmits () =
   let r = Engine.run ~max_steps:1_000_000 Algorithms.gathering s in
   Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated);
   (* Exactly n - 1 transmissions, by the model. *)
-  Alcotest.(check int) "n-1 transmissions" 9 (List.length r.transmissions)
+  Alcotest.(check int) "n-1 transmissions" 9 (List.length (Engine.transmissions r))
 
 let test_gathering_prefers_sink () =
   let s = sched ~n:3 [ (0, 2) ] in
   let r = Engine.run Algorithms.gathering s in
-  match r.transmissions with
+  match (Engine.transmissions r) with
   | [ { Engine.sender = 2; receiver = 0; time = 0 } ] -> ()
   | _ -> Alcotest.fail "expected 2 -> 0"
 
 let test_gathering_smaller_id_receives () =
   let s = sched ~n:4 [ (2, 3) ] in
   let r = Engine.run Algorithms.gathering s in
-  match r.transmissions with
+  match (Engine.transmissions r) with
   | [ { Engine.sender = 3; receiver = 2; _ } ] -> ()
   | _ -> Alcotest.fail "expected 3 -> 2"
 
@@ -86,7 +86,7 @@ let test_waiting_greedy_sink_receives_when_far () =
   let s = sched ~n:3 [ (0, 2); (1, 2); (0, 1) ] in
   let algo = Algorithms.waiting_greedy ~tau:10 in
   let r = Engine.run algo s in
-  (match r.transmissions with
+  (match (Engine.transmissions r) with
   | { Engine.sender = 2; receiver = 0; time = 0 } :: _ -> ()
   | _ -> Alcotest.fail "node 2 should deliver at t=0");
   Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated)
@@ -99,7 +99,7 @@ let test_waiting_greedy_waits_when_meeting_soon () =
   let algo = Algorithms.waiting_greedy ~tau:10 in
   let r = Engine.run algo s in
   Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated);
-  match r.transmissions with
+  match (Engine.transmissions r) with
   | [ t1; t2 ] ->
       Alcotest.(check int) "1 sends at t=1" 1 t1.Engine.time;
       Alcotest.(check int) "sender 1" 1 t1.Engine.sender;
@@ -115,7 +115,7 @@ let test_waiting_greedy_acts_as_gathering_after_tau () =
   let algo = Algorithms.waiting_greedy ~tau:0 in
   let r = Engine.run algo s in
   Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated);
-  Alcotest.(check int) "n-1 transmissions" 3 (List.length r.transmissions)
+  Alcotest.(check int) "n-1 transmissions" 3 (List.length (Engine.transmissions r))
 
 let test_waiting_greedy_terminates_whp_by_tau () =
   let n = 64 in
@@ -208,7 +208,7 @@ let test_tree_aggregation_on_path () =
   let r = Engine.run ~knowledge:k Algorithms.tree_aggregation s in
   Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated);
   let fire v =
-    match List.find_opt (fun t -> t.Engine.sender = v) r.transmissions with
+    match List.find_opt (fun t -> t.Engine.sender = v) (Engine.transmissions r) with
     | Some t -> t.Engine.time
     | None -> Alcotest.fail "missing transmission"
   in
@@ -229,7 +229,7 @@ let test_tree_aggregation_only_tree_edges () =
       Alcotest.(check int) "to parent"
         (Doda_graph.Spanning_tree.parent tree tr.Engine.sender)
         tr.Engine.receiver)
-    r.transmissions
+    (Engine.transmissions r)
 
 let test_tree_aggregation_optimal_on_tree () =
   (* Theorem 5: when the underlying graph is a tree, the algorithm is
@@ -268,7 +268,7 @@ let test_full_knowledge_never_transmits_when_infeasible () =
   let s = sched ~n:3 [ (1, 2); (1, 2); (1, 2) ] in
   let r = Engine.run Algorithms.full_knowledge s in
   Alcotest.(check bool) "no termination" true (r.stop = Engine.Schedule_exhausted);
-  Alcotest.(check int) "no transmissions" 0 (List.length r.transmissions)
+  Alcotest.(check int) "no transmissions" 0 (List.length (Engine.transmissions r))
 
 (* ------------------------------------------------------------------ *)
 (* Future gossip                                                       *)
@@ -306,7 +306,7 @@ let test_future_gossip_no_transmission_before_knowledge () =
   (* Gossip needs at least one interaction per node before anyone can
      know everything; the first transmission cannot be at time 0 for
      n >= 3. *)
-  match r.transmissions with
+  match (Engine.transmissions r) with
   | { Engine.time; _ } :: _ -> Alcotest.(check bool) "t > 0" true (time > 0)
   | [] -> Alcotest.fail "expected transmissions"
 
@@ -330,14 +330,14 @@ let test_variants_all_terminate () =
       Alcotest.(check int)
         (algo.Doda_core.Algorithm.name ^ " n-1 transmissions")
         (n - 1)
-        (List.length r.Engine.transmissions))
+        (List.length (Engine.transmissions r)))
     Gathering_variants.all
 
 let test_variant_larger_id_receives () =
   let s = sched ~n:4 [ (2, 3) ] in
   let algo = Gathering_variants.make Gathering_variants.Larger_id in
   let r = Engine.run algo s in
-  match r.transmissions with
+  match (Engine.transmissions r) with
   | [ { Engine.sender = 2; receiver = 3; _ } ] -> ()
   | _ -> Alcotest.fail "expected 2 -> 3"
 
@@ -347,7 +347,7 @@ let test_variant_more_data_receives () =
   let s = sched ~n:4 [ (2, 3); (1, 2); (0, 2); (0, 1) ] in
   let algo = Gathering_variants.make Gathering_variants.More_data in
   let r = Engine.run algo s in
-  match r.transmissions with
+  match (Engine.transmissions r) with
   | { Engine.sender = 3; receiver = 2; _ }
     :: { Engine.sender = 1; receiver = 2; _ } :: _ -> ()
   | _ -> Alcotest.fail "expected 3 -> 2 then 1 -> 2"
@@ -380,7 +380,7 @@ let test_tree_kruskal_terminates_and_uses_its_tree () =
       Alcotest.(check int) "to kruskal parent"
         (Doda_graph.Spanning_tree.parent tree tr.Engine.sender)
         tr.Engine.receiver)
-    r.transmissions
+    (Engine.transmissions r)
 
 (* ------------------------------------------------------------------ *)
 (* meetTime policy zoo                                                 *)
@@ -411,7 +411,7 @@ let test_pure_greedy_fires_on_every_live_pair () =
   let s = Generators.uniform_sequence rng ~n ~length:100_000 in
   let algo = Meet_time_policies.pure_greedy ~horizon:100_000 in
   let r = Engine.run algo (Schedule.of_sequence ~n ~sink:0 s) in
-  Alcotest.(check int) "n-1 transmissions" (n - 1) (List.length r.Engine.transmissions)
+  Alcotest.(check int) "n-1 transmissions" (n - 1) (List.length (Engine.transmissions r))
 
 let test_sliding_window_waits_for_near_meetings () =
   (* Node 2 meets the sink at t = 2, within theta of t = 0: at the
@@ -422,7 +422,7 @@ let test_sliding_window_waits_for_near_meetings () =
   let algo = Meet_time_policies.sliding_window ~theta:5 in
   let r = Engine.run algo s in
   Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated);
-  match r.transmissions with
+  match (Engine.transmissions r) with
   | [ t1; _ ] ->
       Alcotest.(check int) "node 1 sends first" 1 t1.Engine.sender;
       Alcotest.(check int) "to node 2" 2 t1.Engine.receiver
@@ -448,7 +448,7 @@ let test_coin_waiting_terminates () =
   Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated);
   List.iter
     (fun tr -> Alcotest.(check int) "receiver is sink" 0 tr.Engine.receiver)
-    r.transmissions
+    (Engine.transmissions r)
 
 let test_coin_waiting_slower_than_waiting () =
   (* Skipping half the sink meetings roughly doubles the run. *)

@@ -28,14 +28,14 @@ let test_engine_gathering_line () =
   let r = Engine.run Algorithms.gathering s in
   Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated);
   Alcotest.(check (option int)) "duration" (Some 1) r.duration;
-  Alcotest.(check int) "two transmissions" 2 (List.length r.transmissions)
+  Alcotest.(check int) "two transmissions" 2 (List.length (Engine.transmissions r))
 
 let test_engine_waiting_ignores_non_sink () =
   let s = sched ~n:3 [ (1, 2); (1, 2); (0, 2) ] in
   let r = Engine.run Algorithms.waiting s in
   (* Waiting only delivers node 2; node 1 never meets the sink. *)
   Alcotest.(check bool) "not terminated" true (r.stop = Engine.Schedule_exhausted);
-  Alcotest.(check int) "one transmission" 1 (List.length r.transmissions);
+  Alcotest.(check int) "one transmission" 1 (List.length (Engine.transmissions r));
   Alcotest.(check bool) "node 1 still owns" true r.holders.(1)
 
 let test_engine_sender_loses_data () =
@@ -43,7 +43,7 @@ let test_engine_sender_loses_data () =
   let r = Engine.run Algorithms.gathering s in
   (* At t=0, 2 transmits to 1 (receiver is smaller id). At t=1 both
      cannot interact again usefully: 2 has no data. *)
-  (match r.transmissions with
+  (match (Engine.transmissions r) with
   | { time = 0; sender = 2; receiver = 1 } :: _ -> ()
   | _ -> Alcotest.fail "unexpected first transmission");
   Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated)
@@ -66,7 +66,7 @@ let test_engine_each_node_transmits_once () =
   let s = Schedule.of_fun ~n:8 ~sink:0 (Generators.uniform rng ~n:8) in
   let r = Engine.run ~max_steps:100_000 Algorithms.gathering s in
   Alcotest.(check bool) "terminated" true (r.stop = Engine.All_aggregated);
-  let senders = List.map (fun t -> t.Engine.sender) r.transmissions in
+  let senders = List.map (fun t -> t.Engine.sender) (Engine.transmissions r) in
   let sorted = List.sort compare senders in
   Alcotest.(check (list int)) "each non-sink transmits exactly once"
     [ 1; 2; 3; 4; 5; 6; 7 ] sorted
@@ -297,7 +297,7 @@ let test_engine_ignores_decide_without_data () =
   in
   let r = Engine.run counting s in
   Alcotest.(check int) "decide once" 1 !calls;
-  Alcotest.(check int) "one transmission" 1 (List.length r.transmissions)
+  Alcotest.(check int) "one transmission" 1 (List.length (Engine.transmissions r))
 
 let test_engine_record_count_matches_all () =
   (* `Count recording must change nothing about the run except that the
@@ -314,9 +314,9 @@ let test_engine_record_count_matches_all () =
     Alcotest.(check int)
       (name ^ ": full log length agrees")
       full.transmission_count
-      (List.length full.transmissions);
+      (List.length (Engine.transmissions full));
     Alcotest.(check (list string)) (name ^ ": count log empty") []
-      (List.map (fun _ -> "tr") count.transmissions);
+      (List.map (fun _ -> "tr") (Engine.transmissions count));
     Alcotest.(check (array bool)) (name ^ ": same holders") full.holders
       count.holders
   in
@@ -363,8 +363,8 @@ let test_stepper_matches_run () =
   Alcotest.(check (option int)) "same duration" run_result.duration
     stepped_result.duration;
   Alcotest.(check int) "same transmissions"
-    (List.length run_result.transmissions)
-    (List.length stepped_result.transmissions)
+    (List.length (Engine.transmissions run_result))
+    (List.length (Engine.transmissions stepped_result))
 
 let test_stepper_intermediate_state () =
   let s = sched ~n:3 [ (1, 2); (0, 1) ] in
@@ -394,6 +394,10 @@ let test_stepper_snapshot_is_copy () =
 (* Validate                                                            *)
 
 module Validate = Doda_core.Validate
+module Run_log = Doda_core.Run_log
+
+(* Hand-built logs enter the validator through the flat representation. *)
+let vlog = Run_log.of_list
 
 let violation_testable =
   Alcotest.testable
@@ -406,33 +410,33 @@ let test_validate_accepts_engine_run () =
   let s = Generators.uniform_sequence rng ~n ~length:10_000 in
   let r = Engine.run Algorithms.gathering (Schedule.of_sequence ~n ~sink:0 s) in
   Alcotest.(check (list violation_testable)) "no violations" []
-    (Validate.execution ~n ~sink:0 s r.transmissions);
-  Alcotest.(check bool) "complete" true (Validate.complete ~n ~sink:0 s r.transmissions)
+    (Validate.execution ~n ~sink:0 s r.log);
+  Alcotest.(check bool) "complete" true (Validate.complete ~n ~sink:0 s r.log)
 
 let test_validate_flags_corruptions () =
   let s = seq [ (1, 2); (0, 1) ] in
   let ok = [ { Engine.time = 0; sender = 2; receiver = 1 };
              { Engine.time = 1; sender = 1; receiver = 0 } ] in
   Alcotest.(check int) "baseline valid" 0
-    (List.length (Validate.execution ~n:3 ~sink:0 s ok));
+    (List.length (Validate.execution ~n:3 ~sink:0 s (vlog ok)));
   let bad_endpoint = [ { Engine.time = 0; sender = 2; receiver = 0 } ] in
   Alcotest.(check bool) "wrong interaction flagged" true
     (List.mem (Validate.Wrong_interaction 0)
-       (Validate.execution ~n:3 ~sink:0 s bad_endpoint));
+       (Validate.execution ~n:3 ~sink:0 s (vlog bad_endpoint)));
   let sink_sends = [ { Engine.time = 1; sender = 0; receiver = 1 } ] in
   Alcotest.(check bool) "sink transmission flagged" true
     (List.mem (Validate.Sink_transmitted 0)
-       (Validate.execution ~n:3 ~sink:0 s sink_sends));
+       (Validate.execution ~n:3 ~sink:0 s (vlog sink_sends)));
   let out_of_order =
     [ { Engine.time = 1; sender = 1; receiver = 0 };
       { Engine.time = 0; sender = 2; receiver = 1 } ]
   in
   Alcotest.(check bool) "order flagged" true
     (List.mem (Validate.Out_of_order 1)
-       (Validate.execution ~n:3 ~sink:0 s out_of_order));
+       (Validate.execution ~n:3 ~sink:0 s (vlog out_of_order)));
   let bad_time = [ { Engine.time = 9; sender = 1; receiver = 0 } ] in
   Alcotest.(check bool) "bad time flagged" true
-    (List.mem (Validate.Bad_time 0) (Validate.execution ~n:3 ~sink:0 s bad_time))
+    (List.mem (Validate.Bad_time 0) (Validate.execution ~n:3 ~sink:0 s (vlog bad_time)))
 
 let test_validate_flags_reuse () =
   let s = seq [ (1, 2); (1, 2); (0, 1) ] in
@@ -443,16 +447,16 @@ let test_validate_flags_reuse () =
   in
   Alcotest.(check bool) "dead receiver flagged" true
     (List.mem (Validate.Receiver_without_data 1)
-       (Validate.execution ~n:3 ~sink:0 s receiver_dead))
+       (Validate.execution ~n:3 ~sink:0 s (vlog receiver_dead)))
 
 let test_validate_incomplete () =
   let s = seq [ (0, 1) ] in
   let partial = [ { Engine.time = 0; sender = 1; receiver = 0 } ] in
   (* valid but node 2 never transmitted *)
   Alcotest.(check int) "valid" 0
-    (List.length (Validate.execution ~n:3 ~sink:0 s partial));
+    (List.length (Validate.execution ~n:3 ~sink:0 s (vlog partial)));
   Alcotest.(check bool) "not complete" false
-    (Validate.complete ~n:3 ~sink:0 s partial)
+    (Validate.complete ~n:3 ~sink:0 s (vlog partial))
 
 let test_validate_plan () =
   let rng = Prng.create 73 in

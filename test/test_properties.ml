@@ -129,8 +129,8 @@ let prop_engine_conservation =
       ignore len;
       let r = Engine.run Algorithms.gathering sched in
       let owners = Engine.count_owners r in
-      let senders = List.map (fun t -> t.Engine.sender) r.transmissions in
-      List.length r.transmissions = n - owners
+      let senders = List.map (fun t -> t.Engine.sender) (Engine.transmissions r) in
+      List.length (Engine.transmissions r) = n - owners
       && List.length (List.sort_uniq compare senders) = List.length senders
       && (not (List.mem 0 senders))
       && r.holders.(0))
@@ -234,7 +234,7 @@ let prop_stepper_equals_run =
       in
       let r2 = drive () in
       r1.duration = r2.duration
-      && r1.transmissions = r2.transmissions
+      && (Engine.transmissions r1) = (Engine.transmissions r2)
       && r1.stop = r2.stop)
 
 let prop_engine_runs_validate =
@@ -243,9 +243,9 @@ let prop_engine_runs_validate =
       let s = sequence_of inst in
       let check algo =
         let r = Engine.run algo (Schedule.of_sequence ~n ~sink:0 s) in
-        Doda_core.Validate.execution ~n ~sink:0 s r.transmissions = []
+        Doda_core.Validate.execution ~n ~sink:0 s r.log = []
         && (r.stop <> Engine.All_aggregated
-           || Doda_core.Validate.complete ~n ~sink:0 s r.transmissions)
+           || Doda_core.Validate.complete ~n ~sink:0 s r.log)
       in
       List.for_all check
         (Algorithms.gathering :: Algorithms.waiting
@@ -302,7 +302,7 @@ let prop_waiting_equals_coin_p1 =
       let run algo = Engine.run algo (Schedule.of_sequence ~n ~sink:0 s) in
       let r1 = run Algorithms.waiting in
       let r2 = run (Doda_core.Coin_algorithms.coin_waiting master ~p:1.0) in
-      r1.duration = r2.duration && r1.transmissions = r2.transmissions)
+      r1.duration = r2.duration && (Engine.transmissions r1) = (Engine.transmissions r2))
 
 let prop_recurrent_subset_of_underlying =
   QCheck.Test.make ~count ~name:"recurrent edges are a subset of the underlying graph"
@@ -358,7 +358,7 @@ let prop_gathering_hash_conserves =
       let s = sequence_of inst in
       let algo = Doda_core.Gathering_variants.make Doda_core.Gathering_variants.Hash in
       let r = Engine.run algo (Schedule.of_sequence ~n ~sink:0 s) in
-      List.length r.transmissions = n - Engine.count_owners r)
+      List.length (Engine.transmissions r) = n - Engine.count_owners r)
 
 let prop_flooding_equals_opt =
   (* Epidemic aggregation completes exactly when the offline one-shot
