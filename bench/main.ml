@@ -36,6 +36,8 @@ module Knowledge = Doda_core.Knowledge
 module Theory = Doda_core.Theory
 module Algorithms = Doda_core.Algorithms
 module Waiting_greedy = Doda_core.Waiting_greedy
+module Mobility = Doda_dynamic.Mobility
+module Gen_kernel = Doda_dynamic.Gen_kernel
 module Randomized = Doda_adversary.Randomized
 module Duel = Doda_adversary.Duel
 module Counterexamples = Doda_adversary.Counterexamples
@@ -80,12 +82,16 @@ let csv_counter = ref 0
    archive. *)
 let current_tables : (string * Table.t) list ref = ref []
 
-let print_table ?name table =
+(* [csv:false] prints and archives to JSON but skips the CSV mirror:
+   for tables with timing columns (generator throughput), which cannot
+   serve as byte-identical regression baselines. *)
+let print_table ?(csv = true) ?name table =
   Table.print table;
   let base = match name with Some n -> n | None -> "table" in
   current_tables := (base, table) :: !current_tables;
   match csv_dir with
   | None -> ()
+  | Some _ when not csv -> ()
   | Some dir ->
       Doda_sim.Csv.mkdir_p dir;
       incr csv_counter;
@@ -1121,6 +1127,68 @@ let mixed () =
   print_table t
 
 (* ------------------------------------------------------------------ *)
+(* GEN — workload-generator throughput.                                *)
+
+let gen () =
+  header "GEN | workload-generator throughput"
+    "Draws per second, single domain. markov-event rides the timing\n\
+     wheel (O(active + toggles) per step), markov-dense is the O(n^2)\n\
+     Bernoulli-sweep reference it replaces (same distribution, not the\n\
+     same draw stream). waypoint switches from an all-pairs scan to\n\
+     the spatial hash when n >= 64 and the grid is at least 6x6\n\
+     (radius below ~1/6) — the r=0.05 rows take the hash, the r=0.20\n\
+     rows the scan. grid-walk buckets walkers by cell. CI enforces\n\
+     draws/s floors on two n=128 rows. Timing columns are machine-\n\
+     dependent, so this table is not a byte-identical CSV baseline.";
+  let t = Table.create ~header:[ "generator"; "draws"; "wall s"; "draws/s" ] in
+  let time_gen label draws mk =
+    let g = mk (Prng.create master_seed) in
+    ignore (g 0);  (* setup + first draw outside the clock *)
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to draws do
+      ignore (g i)
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    Table.add_row t
+      [
+        label;
+        string_of_int draws;
+        Printf.sprintf "%.3f" wall;
+        Printf.sprintf "%.0f" (float_of_int draws /. wall);
+      ]
+  in
+  List.iter
+    (fun n ->
+      time_gen
+        (Printf.sprintf "markov-event n=%d" n)
+        200_000
+        (fun rng -> Generators.markov_edges rng ~n ~p_on:0.01 ~p_off:0.2);
+      time_gen
+        (Printf.sprintf "markov-dense n=%d" n)
+        (if n >= 128 then 5_000 else 50_000)
+        (fun rng -> Generators.markov_edges_dense rng ~n ~p_on:0.01 ~p_off:0.2);
+      time_gen
+        (Printf.sprintf "waypoint n=%d r=0.20" n)
+        (if n >= 128 then 50_000 else 100_000)
+        (fun rng -> Mobility.random_waypoint rng ~n);
+      time_gen
+        (Printf.sprintf "waypoint n=%d r=0.05" n)
+        (if n >= 128 then 50_000 else 100_000)
+        (fun rng ->
+          Mobility.random_waypoint
+            ~params:{ Mobility.default_waypoint with Mobility.radius = 0.05 }
+            rng ~n);
+      let side = 1 + int_of_float (sqrt (float_of_int n)) in
+      time_gen
+        (Printf.sprintf "grid-walk n=%d %dx%d" n side side)
+        100_000
+        (fun rng -> Mobility.grid_walkers rng ~n ~rows:side ~cols:side))
+    [ 32; 128 ];
+  (* Timing columns are machine-dependent: archived to JSON, not as a
+     CSV baseline (CI checks floors on the printed table instead). *)
+  print_table ~csv:false t
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the machinery itself.                  *)
 
 let micro () =
@@ -1144,6 +1212,32 @@ let micro () =
              ignore
                (Schedule.next_meet_with_sink sched ~node:17 ~after:25_000
                   ~limit:49_999)));
+      (* Generator kernels: one spatial-hash contact collection over
+         random positions, and one draw of each event-driven
+         generator (closures pre-built, so steady-state cost). *)
+      (let plane = Gen_kernel.Plane.create ~n ~radius:0.2 in
+       let px = Array.init n (fun _ -> Prng.float prng_rng 1.0) in
+       let py = Array.init n (fun _ -> Prng.float prng_rng 1.0) in
+       let buf = Array.make (n * (n - 1) / 2) 0 in
+       Test.make ~name:"kernel/plane-collect-n128"
+         (Staged.stage (fun () ->
+              ignore (Gen_kernel.Plane.collect plane ~x:px ~y:py buf))));
+      (let g = Generators.markov_edges (Prng.create 5) ~n ~p_on:0.01 ~p_off:0.2 in
+       let t = ref 0 in
+       Test.make ~name:"gen/markov-event-n128-draw"
+         (Staged.stage (fun () ->
+              incr t;
+              ignore (g !t))));
+      (let g =
+         Mobility.random_waypoint
+           ~params:{ Mobility.default_waypoint with Mobility.radius = 0.05 }
+           (Prng.create 6) ~n
+       in
+       let t = ref 0 in
+       Test.make ~name:"gen/waypoint-n128-r05-draw"
+         (Staged.stage (fun () ->
+              incr t;
+              ignore (g !t))));
       Test.make ~name:"temporal/flood-50k"
         (Staged.stage (fun () ->
              ignore (Temporal.broadcast_completion ~n ~src:0 seq50k)));
@@ -1208,7 +1302,7 @@ let all_experiments =
     ("t2search", t2search);
     ("exact", exact);
     ("variants", variants); ("spite", spite); ("mixed", mixed); ("price", price);
-    ("policies", policies); ("micro", micro);
+    ("policies", policies); ("gen", gen); ("micro", micro);
   ]
 
 (* Machine-readable archive: per-experiment wall clock plus every table

@@ -67,21 +67,73 @@ let t_chain ~n ~sink s =
   in
   chain 0 []
 
+(* Reverse flood over [lo .. hi] with a generation-stamped scratch:
+   [stamp.(v) = gen] means informed, so probes reuse one int array with
+   no clearing between them. *)
+let flood_ok ~n ~sink ~stamp ~gen s ~lo ~hi =
+  stamp.(sink) <- gen;
+  let count = ref 1 in
+  let t = ref hi in
+  while !count < n && !t >= lo do
+    let i = Sequence.get s !t in
+    let a = Interaction.u i and b = Interaction.v i in
+    let ia = stamp.(a) = gen and ib = stamp.(b) = gen in
+    if ia <> ib then begin
+      stamp.(if ia then b else a) <- gen;
+      incr count
+    end;
+    decr t
+  done;
+  !count = n
+
 let optimal_duration_lazy sched ~start ~horizon =
   let n = Schedule.n sched and sink = Schedule.sink sched in
+  if start < 0 then invalid_arg "Convergecast.opt: negative start time";
   let cap =
     match Schedule.length sched with
     | Some len -> Stdlib.min len horizon
     | None -> horizon
   in
-  let rec attempt size =
-    if start >= size && size >= cap then None
-    else begin
-      let size = Stdlib.min size cap in
-      let prefix = Schedule.prefix sched size in
-      match plan ~n ~sink prefix ~start with
-      | Some p -> Some (p, size)
-      | None -> if size >= cap then None else attempt (size * 2)
-    end
-  in
-  attempt (Stdlib.max 16 (Stdlib.max (4 * n) (2 * (start + 1))))
+  match Schedule.backing sched with
+  | Some s ->
+      (* Zero-copy path: the schedule is finite or frozen, so the
+         binary search for the minimal ending runs directly on the
+         backing sequence with index bounds — no [Schedule.prefix]
+         copies per doubling attempt, and the feasibility probes share
+         one generation-stamped scratch instead of allocating an
+         informed array each. *)
+      let upper = Stdlib.min cap (Sequence.length s) - 1 in
+      if start > upper then None
+      else begin
+        let stamp = Array.make n 0 in
+        let gen = ref 0 in
+        let probe hi =
+          incr gen;
+          flood_ok ~n ~sink ~stamp ~gen:!gen s ~lo:start ~hi
+        in
+        if not (probe upper) then None
+        else begin
+          let lo_b = ref start and hi_b = ref upper in
+          while !lo_b < !hi_b do
+            let mid = (!lo_b + !hi_b) / 2 in
+            if probe mid then hi_b := mid else lo_b := mid + 1
+          done;
+          match plan_within ~n ~sink s ~start ~upper:!lo_b with
+          | Some p -> Some (p, !lo_b + 1)
+          | None -> None
+        end
+      end
+  | None ->
+      (* Generator-backed schedule: materialise geometrically growing
+         prefixes until a convergecast fits. *)
+      let rec attempt size =
+        if start >= size && size >= cap then None
+        else begin
+          let size = Stdlib.min size cap in
+          let prefix = Schedule.prefix sched size in
+          match plan ~n ~sink prefix ~start with
+          | Some p -> Some (p, size)
+          | None -> if size >= cap then None else attempt (size * 2)
+        end
+      in
+      attempt (Stdlib.max 16 (Stdlib.max (4 * n) (2 * (start + 1))))

@@ -44,7 +44,12 @@ val t_chain : n:int -> sink:int -> Doda_dynamic.Sequence.t -> int list
 
 val optimal_duration_lazy :
   Doda_dynamic.Schedule.t -> start:int -> horizon:int -> (plan * int) option
-(** Like {!plan} on a lazily materialised schedule: grows the
-    materialised prefix geometrically until a convergecast starting at
-    [start] fits, giving up past [horizon] interactions. Returns the
-    plan and the prefix length finally examined. *)
+(** Like {!plan} bounded by [horizon] interactions: a convergecast
+    starting at [start] must fit within the first [horizon]
+    interactions or [None] is returned. On a finite or frozen schedule
+    this runs zero-copy on the backing sequence (binary search with
+    index bounds, one scratch shared by all feasibility probes) and
+    the returned int is the minimal sufficient prefix length
+    ([completion + 1]); on a generator-backed schedule it materialises
+    geometrically growing prefixes and returns the prefix length
+    finally examined. *)

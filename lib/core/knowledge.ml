@@ -24,7 +24,13 @@ let finite_sequence sched what =
   | None ->
       invalid_arg
         (Printf.sprintf "Knowledge.for_schedule: %s requires a finite schedule" what)
-  | Some len -> Schedule.prefix sched len
+  | Some len -> (
+      (* The requirement spans the whole schedule, and a finite or
+         frozen schedule hands out its backing sequence without the
+         O(len) copy [Schedule.prefix] would make. *)
+      match Schedule.backing sched with
+      | Some seq -> seq
+      | None -> Schedule.prefix sched len)
 
 let for_schedule sched reqs =
   List.fold_left

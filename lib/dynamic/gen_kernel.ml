@@ -1,0 +1,274 @@
+(* Event-driven generator kernels: a bucketed timing wheel (markov
+   edge toggles) and a spatial-hash occupancy grid (mobility contact
+   collection). Shared scratch, no steady-state allocation. *)
+
+let rec next_pow2 x acc = if acc >= x then acc else next_pow2 x (2 * acc)
+
+module Wheel = struct
+  type t = {
+    mask : int;
+    buckets : Int_vec.t array;
+    due : int array;  (* absolute due time per id; max_int = unscheduled *)
+    fired : Int_vec.t;  (* scratch: ids due at the step being advanced *)
+  }
+
+  let create ~ids =
+    if ids < 0 then invalid_arg "Gen_kernel.Wheel.create: negative id count";
+    (* Enough slots that lap collisions (ids sharing a bucket across
+       wheel revolutions) stay rare even when every id is pending. *)
+    let size = next_pow2 (Stdlib.min 8192 (Stdlib.max 256 ids)) 1 in
+    {
+      mask = size - 1;
+      buckets = Array.init size (fun _ -> Int_vec.create ());
+      due = Array.make (Stdlib.max 1 ids) max_int;
+      fired = Int_vec.create ();
+    }
+
+  let schedule w ~id ~at =
+    w.due.(id) <- at;
+    Int_vec.push w.buckets.(at land w.mask) id
+
+  let due w ~id = w.due.(id)
+
+  let advance w ~now f =
+    let bucket = w.buckets.(now land w.mask) in
+    let len = Int_vec.length bucket in
+    Int_vec.clear w.fired;
+    (* Compact the slot in place: ids due now move to the scratch, ids
+       due a later lap keep their position. Compaction completes before
+       any [f] runs, so [f] may re-schedule into this very bucket. *)
+    let keep = ref 0 in
+    for i = 0 to len - 1 do
+      let id = Int_vec.unsafe_get bucket i in
+      if Array.unsafe_get w.due id = now then Int_vec.push w.fired id
+      else begin
+        Int_vec.unsafe_set bucket !keep id;
+        incr keep
+      end
+    done;
+    Int_vec.truncate bucket !keep;
+    Int_vec.iter f w.fired
+end
+
+module Grid = struct
+  type t = { buckets : Int_vec.t array; touched : Int_vec.t }
+
+  let create ~cells =
+    if cells < 1 then invalid_arg "Gen_kernel.Grid.create: need at least one cell";
+    { buckets = Array.init cells (fun _ -> Int_vec.create ()); touched = Int_vec.create () }
+
+  let clear g =
+    Int_vec.iter (fun c -> Int_vec.clear g.buckets.(c)) g.touched;
+    Int_vec.clear g.touched
+
+  let insert g ~cell v =
+    if cell < 0 || cell >= Array.length g.buckets then
+      invalid_arg "Gen_kernel.Grid.insert: cell out of range";
+    let bucket = g.buckets.(cell) in
+    if Int_vec.length bucket = 0 then Int_vec.push g.touched cell;
+    Int_vec.push bucket v
+
+  let occupancy g ~cell = Int_vec.length g.buckets.(cell)
+  let occupant g ~cell i = Int_vec.unsafe_get g.buckets.(cell) i
+
+  let same_cell_pairs g f =
+    Int_vec.iter
+      (fun cell ->
+        let bucket = g.buckets.(cell) in
+        let k = Int_vec.length bucket in
+        for i = 0 to k - 2 do
+          let a = Int_vec.unsafe_get bucket i in
+          for j = i + 1 to k - 1 do
+            f a (Int_vec.unsafe_get bucket j)
+          done
+        done)
+      g.touched
+end
+
+let sort_prefix a count =
+  if count < 0 || count > Array.length a then
+    invalid_arg "Gen_kernel.sort_prefix: count out of bounds";
+  for i = 1 to count - 1 do
+    let x = Array.unsafe_get a i in
+    (* Binary search for the insertion point in the sorted prefix. *)
+    let lo = ref 0 and hi = ref i in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Array.unsafe_get a mid <= x then lo := mid + 1 else hi := mid
+    done;
+    Array.blit a !lo a (!lo + 1) (i - !lo);
+    Array.unsafe_set a !lo x
+  done
+
+let select_prefix a count ~rank =
+  if count < 0 || count > Array.length a then
+    invalid_arg "Gen_kernel.select_prefix: count out of bounds";
+  if rank < 0 || rank >= count then
+    invalid_arg "Gen_kernel.select_prefix: rank out of bounds";
+  (* Quickselect, Hoare partition. The pivot is the median of the range
+     endpoints and midpoint, swapped to the front so the classical
+     [pivot = a.(lo)] termination argument applies (the split point
+     lands in [lo .. hi - 1]). *)
+  let lo = ref 0 and hi = ref (count - 1) in
+  let swap i j =
+    let t = Array.unsafe_get a i in
+    Array.unsafe_set a i (Array.unsafe_get a j);
+    Array.unsafe_set a j t
+  in
+  while !lo < !hi do
+    let l = !lo and h = !hi in
+    let mid = l + ((h - l) / 2) in
+    if Array.unsafe_get a mid < Array.unsafe_get a l then swap mid l;
+    if Array.unsafe_get a h < Array.unsafe_get a l then swap h l;
+    if Array.unsafe_get a mid < Array.unsafe_get a h then swap mid h;
+    swap l h;
+    (* median of three now at [l] *)
+    let p = Array.unsafe_get a l in
+    let i = ref (l - 1) and j = ref (h + 1) in
+    let split = ref l in
+    let continue = ref true in
+    while !continue do
+      incr i;
+      while Array.unsafe_get a !i < p do incr i done;
+      decr j;
+      while Array.unsafe_get a !j > p do decr j done;
+      if !i >= !j then begin
+        split := !j;
+        continue := false
+      end
+      else swap !i !j
+    done;
+    if rank <= !split then hi := !split else lo := !split + 1
+  done;
+  Array.unsafe_get a rank
+
+module Plane = struct
+  (* Flat counting-sort buckets, rebuilt per draw: no per-cell vectors,
+     no closures, no allocation — the constant factor has to compete
+     with a branch-predictable all-pairs scan at small n. *)
+  type t = {
+    n : int;
+    dim : int;
+    r2 : float;
+    cell_of : int array;  (* per point, cell of the last build *)
+    counts : int array;  (* per cell; zeroed invariant between builds *)
+    starts : int array;  (* per cell, range start into [sorted] *)
+    cursor : int array;  (* per cell, scatter cursor *)
+    sorted : int array;  (* points grouped by cell, ids ascending *)
+    occ : int array;  (* occupied cells of the current build *)
+  }
+
+  let create ~n ~radius =
+    if n < 0 then invalid_arg "Gen_kernel.Plane.create: negative point count";
+    let r = Float.abs radius in
+    (* Cell size 1/dim must stay >= radius (3x3 neighbourhood
+       correctness) while the bucket store stays bounded: floor (1/r)
+       clamped to [1, 64]. *)
+    let dim =
+      if r >= 1.0 then 1
+      else if r <= 1.0 /. 64.0 then 64
+      else Stdlib.max 1 (Stdlib.min 64 (int_of_float (1.0 /. r)))
+    in
+    let cells = dim * dim in
+    {
+      n;
+      dim;
+      r2 = radius *. radius;
+      cell_of = Array.make (Stdlib.max 1 n) 0;
+      counts = Array.make cells 0;
+      starts = Array.make cells 0;
+      cursor = Array.make cells 0;
+      sorted = Array.make (Stdlib.max 1 n) 0;
+      occ = Array.make (Stdlib.max 1 n) 0;
+    }
+
+  let dim p = p.dim
+
+  let collect p ~x ~y contacts =
+    let { n; dim; r2; cell_of; counts; starts; cursor; sorted; occ } = p in
+    let fdim = float_of_int dim in
+    (* Re-zero [counts] from the previous build (O(n), not O(cells)),
+       then bucket-count this one, recording each cell the moment it
+       becomes occupied. *)
+    for u = 0 to n - 1 do
+      Array.unsafe_set counts (Array.unsafe_get cell_of u) 0
+    done;
+    let occupied = ref 0 in
+    for u = 0 to n - 1 do
+      let cx = Stdlib.min (dim - 1) (Stdlib.max 0 (int_of_float (x.(u) *. fdim))) in
+      let cy = Stdlib.min (dim - 1) (Stdlib.max 0 (int_of_float (y.(u) *. fdim))) in
+      let c = (cy * dim) + cx in
+      Array.unsafe_set cell_of u c;
+      let k = Array.unsafe_get counts c in
+      if k = 0 then begin
+        Array.unsafe_set occ !occupied c;
+        incr occupied
+      end;
+      Array.unsafe_set counts c (k + 1)
+    done;
+    let pos = ref 0 in
+    for i = 0 to !occupied - 1 do
+      let c = Array.unsafe_get occ i in
+      Array.unsafe_set starts c !pos;
+      Array.unsafe_set cursor c !pos;
+      pos := !pos + Array.unsafe_get counts c
+    done;
+    for u = 0 to n - 1 do
+      let c = Array.unsafe_get cell_of u in
+      let at = Array.unsafe_get cursor c in
+      Array.unsafe_set sorted at u;
+      Array.unsafe_set cursor c (at + 1)
+    done;
+    let count = ref 0 in
+    (* Within-cell pairs: points scatter in increasing id order, so
+       [a < b] holds positionally. *)
+    for i = 0 to !occupied - 1 do
+      let c = Array.unsafe_get occ i in
+      let lo = Array.unsafe_get starts c in
+      let hi = lo + Array.unsafe_get counts c - 1 in
+      for ia = lo to hi - 1 do
+        let a = Array.unsafe_get sorted ia in
+        let xa = Array.unsafe_get x a and ya = Array.unsafe_get y a in
+        for ib = ia + 1 to hi do
+          let b = Array.unsafe_get sorted ib in
+          let dx = xa -. Array.unsafe_get x b
+          and dy = ya -. Array.unsafe_get y b in
+          if (dx *. dx) +. (dy *. dy) <= r2 then begin
+            contacts.(!count) <- (a * n) + b;
+            incr count
+          end
+        done
+      done;
+      (* Cross-cell pairs: each unordered pair of adjacent cells exactly
+         once, via the half-plane offsets E, SW, S, SE. An unoccupied
+         neighbour has count 0 (its stale range is never entered). *)
+      let cx = c mod dim and cy = c / dim in
+      for k = 0 to 3 do
+        let nx = cx + (match k with 0 -> 1 | 1 -> -1 | 2 -> 0 | _ -> 1)
+        and ny = cy + (match k with 0 -> 0 | _ -> 1) in
+        if nx >= 0 && nx < dim && ny < dim then begin
+          let d = (ny * dim) + nx in
+          let dlo = Array.unsafe_get starts d in
+          let dhi = dlo + Array.unsafe_get counts d - 1 in
+          for ia = lo to hi do
+            let a = Array.unsafe_get sorted ia in
+            let xa = Array.unsafe_get x a and ya = Array.unsafe_get y a in
+            for ib = dlo to dhi do
+              let b = Array.unsafe_get sorted ib in
+              let dx = xa -. Array.unsafe_get x b
+              and dy = ya -. Array.unsafe_get y b in
+              if (dx *. dx) +. (dy *. dy) <= r2 then begin
+                contacts.(!count) <-
+                  (if a < b then (a * n) + b else (b * n) + a);
+                incr count
+              end
+            done
+          done
+        end
+      done
+    done;
+    (* Pairs come out cell-major; the packed encoding makes
+       lexicographic rank queries a plain int [select_prefix], so no
+       per-draw sort is needed. *)
+    !count
+end

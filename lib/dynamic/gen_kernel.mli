@@ -1,0 +1,132 @@
+(** Shared event-driven kernels for workload generators.
+
+    The O(n^2)-per-draw generators ({!Generators.markov_edges},
+    {!Mobility.random_waypoint}, {!Mobility.grid_walkers}) are rebuilt
+    on two small data structures whose per-step cost tracks the number
+    of {e events} rather than the number of node pairs:
+
+    - a bucketed {!Wheel} (timing wheel) scheduling per-edge state
+      toggles, so a Markov edge process advances in
+      O(active + toggles) per step instead of flipping a Bernoulli for
+      all n(n-1)/2 pairs;
+    - a uniform spatial-hash {!Grid} (and its unit-square wrapper
+      {!Plane}) bucketing entities by cell, so contact collection
+      checks only co-located or neighbouring occupants instead of all
+      pairs.
+
+    Everything here is scratch-reusing and allocation-free in steady
+    state: buffers are created once per generator closure and recycled
+    across draws. Nothing is thread-safe — like the generator closures
+    themselves, a kernel value must stay confined to one domain. *)
+
+module Wheel : sig
+  (** A bucketed timing wheel over integer times for a fixed id space.
+
+      Each id has at most one pending event (its absolute due time);
+      ids land in bucket [time mod wheel_size] and far-future events
+      simply stay in their bucket across laps — {!advance} re-files
+      nothing and touches only the ids hashed to the current slot, so
+      with geometric inter-event gaps of mean [1/p] a wheel of size
+      [>= 1/p] processes O(due events) amortised per step. *)
+
+  type t
+
+  val create : ids:int -> t
+  (** A wheel for ids [0 .. ids - 1], none scheduled. The bucket count
+      is an internal power of two. *)
+
+  val schedule : t -> id:int -> at:int -> unit
+  (** [schedule w ~id ~at] sets [id]'s (single) pending event to
+      absolute time [at]. The id must not already be scheduled at a
+      different pending time (each id is filed in exactly one bucket;
+      the kernel's users toggle an edge exactly when it fires, then
+      re-schedule it). *)
+
+  val due : t -> id:int -> int
+  (** The id's pending due time ([max_int] if never scheduled). *)
+
+  val advance : t -> now:int -> (int -> unit) -> unit
+  (** [advance w ~now f] calls [f id] for every id due exactly at
+      [now], after removing them from the wheel; [f] may re-[schedule]
+      the id at any strictly later time (including one hashing to the
+      same bucket). Times must be advanced by exactly one per call —
+      the wheel only inspects the bucket [now] hashes to. *)
+end
+
+module Grid : sig
+  (** Occupancy buckets over an abstract integer cell space with
+      touched-cell tracking: clearing costs O(touched cells), not
+      O(cells), so sparse occupancy of a large grid stays cheap. *)
+
+  type t
+
+  val create : cells:int -> t
+
+  val clear : t -> unit
+  (** Empties every touched bucket (O(occupants + touched)). *)
+
+  val insert : t -> cell:int -> int -> unit
+  (** Appends an occupant to a cell's bucket (insertion order is
+      preserved; callers inserting in increasing occupant order get
+      sorted buckets for free). @raise Invalid_argument on a cell
+      outside [0 .. cells - 1]. *)
+
+  val occupancy : t -> cell:int -> int
+
+  val occupant : t -> cell:int -> int -> int
+  (** [occupant g ~cell i] is the [i]-th occupant (insertion order).
+      Bounds are the caller's contract ([0 <= i < occupancy]). *)
+
+  val same_cell_pairs : t -> (int -> int -> unit) -> unit
+  (** [same_cell_pairs g f] calls [f a b] for every unordered pair of
+      occupants sharing a cell, in bucket-insertion order ([a] inserted
+      before [b]), cells in touched (first-insertion) order. *)
+end
+
+module Plane : sig
+  (** Uniform spatial hash over the unit square with cell size
+      [>= radius]: all pairs within [radius] lie in the same or
+      8-neighbouring cells, so contact collection is
+      O(n + candidate pairs) expected instead of O(n^2). *)
+
+  type t
+
+  val create : n:int -> radius:float -> t
+  (** A hash for [n] points and contact radius [radius]. The grid
+      dimension is [floor (1 / |radius|)] clamped to [1 .. 64], so the
+      cell size never drops below the radius (correctness) nor below
+      1/64 (bounded bucket store). *)
+
+  val dim : t -> int
+  (** The grid dimension actually chosen (cells per axis). [dim = 1]
+      or [2] means the neighbourhood degenerates to (nearly) all
+      cells, so hashing cannot beat a direct scan — callers use this
+      to pick between the grid and a brute-force path. *)
+
+  val collect : t -> x:float array -> y:float array -> int array -> int
+  (** [collect p ~x ~y contacts] finds every pair [(a, b)], [a < b],
+      with [(x_a - x_b)^2 + (y_a - y_b)^2 <= radius^2], writes them
+      into [contacts] as packed [a * n + b] ints and returns the
+      count. The {e set} written is exactly what a brute-force
+      all-pairs scan finds (property-tested); the {e order} is
+      deterministic but cell-major, not lexicographic — consumers
+      needing an order statistic use {!select_prefix} (packed ints
+      sort lexicographically), which is how the waypoint generator
+      keeps its draw stream byte-identical to the all-pairs scan
+      without paying an O(k log k) sort per draw. [contacts] must have
+      room for every pair ([n (n - 1) / 2] suffices). Positions must
+      lie in [0, 1). *)
+end
+
+val sort_prefix : int array -> int -> unit
+(** [sort_prefix a count] sorts [a.(0 .. count - 1)] ascending in
+    place (binary-insertion sort: allocation-free, O(k^2) worst case —
+    meant for small buffers and tests, not for bulk data). *)
+
+val select_prefix : int array -> int -> rank:int -> int
+(** [select_prefix a count ~rank] is the [rank]-th smallest (0-based)
+    of [a.(0 .. count - 1)]: allocation-free in-place quickselect,
+    median-of-three pivots, expected O(count). The prefix is
+    partially reordered. Deterministic — no randomness involved — so
+    generator draw streams built on it are reproducible.
+    @raise Invalid_argument unless [0 <= rank < count]. *)

@@ -42,6 +42,7 @@ val all_pairs : n:int -> Sequence.t
 (** One period of {!round_robin}: each pair exactly once. *)
 
 val markov_edges :
+  ?on_active:(int -> unit) ->
   Doda_prng.Prng.t -> n:int -> p_on:float -> p_off:float -> int -> Interaction.t
 (** [markov_edges rng ~n ~p_on ~p_off] drives every pair by an
     independent two-state Markov chain (absent edges appear with
@@ -49,9 +50,29 @@ val markov_edges :
     [p_off]) and draws each interaction uniformly among the currently
     present edges (advancing the chain until at least one edge is
     present). Models link stability/burstiness that i.i.d. uniform
-    sampling cannot. Each step costs O(n^2) — intended for small and
-    medium [n]. @raise Invalid_argument unless both probabilities lie
-    in (0, 1]. *)
+    sampling cannot.
+
+    Event-driven: each pair samples its geometric sojourn once per
+    state change and waits on a timing wheel ({!Gen_kernel.Wheel}), so
+    a step costs O(present + toggles) expected rather than O(n^2) —
+    the chain {e law} is identical to the dense per-step Bernoulli
+    sweep ({!markov_edges_dense} keeps that reference; the test suite
+    checks distributional equivalence by KS), but the PRNG draw stream
+    differs from it.
+
+    [?on_active] is called once per draw with the number of currently
+    present edges, after advancing and before the uniform pick — a
+    test/instrumentation hook.
+    @raise Invalid_argument unless both probabilities lie in (0, 1]. *)
+
+val markov_edges_dense :
+  ?on_active:(int -> unit) ->
+  Doda_prng.Prng.t -> n:int -> p_on:float -> p_off:float -> int -> Interaction.t
+(** The dense reference implementation of {!markov_edges}: one
+    Bernoulli per pair per step, O(n^2). Same distribution as the
+    event-driven version (not the same draw stream); kept as the
+    oracle for the distributional-equivalence tests and the generator
+    micro-benchmarks. *)
 
 val stitch : (int * (int -> Interaction.t)) list -> int -> Interaction.t
 (** [stitch [(len1, g1); (len2, g2); ...]] plays [g1] for [len1] steps

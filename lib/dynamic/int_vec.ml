@@ -47,3 +47,11 @@ let iter f v =
   done
 
 let clear v = v.len <- 0
+
+let truncate v len =
+  if len < 0 || len > v.len then
+    invalid_arg "Int_vec.truncate: length out of bounds";
+  v.len <- len
+
+let unsafe_get v i = Array.unsafe_get v.data i
+let unsafe_set v i x = Array.unsafe_set v.data i x

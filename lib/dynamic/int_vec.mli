@@ -29,3 +29,15 @@ val iter : (int -> unit) -> t -> unit
 
 val clear : t -> unit
 (** Resets length to zero (capacity retained). *)
+
+val truncate : t -> int -> unit
+(** [truncate v len] shrinks the length to [len] (capacity retained).
+    @raise Invalid_argument if [len] exceeds the current length. *)
+
+val unsafe_get : t -> int -> int
+(** [get] without the bounds check; out-of-range access is undefined
+    behaviour. For hot loops whose induction variable is already
+    bounded by {!length}. *)
+
+val unsafe_set : t -> int -> int -> unit
+(** [set] without the bounds check; same contract as {!unsafe_get}. *)

@@ -42,28 +42,42 @@ let random_waypoint ?(params = default_waypoint) rng ~n =
       end
     end
   in
+  (* Contact collection. Dense point sets with a small radius go
+     through the spatial hash: cell size >= radius, so only same-cell
+     and neighbouring-cell occupants are range-checked — expected
+     O(n + candidates) per draw instead of the all-pairs O(n^2) scan.
+     The hash only pays when the 3x3 neighbourhood is a small fraction
+     of the square: it covers (3/dim)^2 of the area, and its
+     per-candidate constant is ~3x the branch-predictable scan's
+     (measured), so the scan stays faster whenever dim < 6 (radius
+     above ~1/6) or n is small (the build alone is three passes over
+     the points). Either way the buffer holds the same packed contact
+     set, and the pick below consumes the same PRNG draw and selects
+     the same lexicographic rank — element [j] of the original cons
+     list was the [count - 1 - j]-th smallest — so the interaction
+     stream is byte-identical to the seed implementation on both
+     paths. *)
+  let plane = Gen_kernel.Plane.create ~n ~radius:params.radius in
+  let use_grid = n >= 64 && Gen_kernel.Plane.dim plane >= 6 in
   let r2 = params.radius *. params.radius in
-  let in_range a b =
-    let dx = x.(a) -. x.(b) and dy = y.(a) -. y.(b) in
-    (dx *. dx) +. (dy *. dy) <= r2
-  in
-  (* Contacts collect into packed-int buffers instead of a list plus
-     Array.of_list per draw. The uniform pick is over the contact list
-     in the (reverse-scan) order the list-based version produced, so
-     the draw stream is unchanged: element [j] of that list is slot
-     [count - 1 - j] of the in-scan-order buffer. *)
   let contact = Array.make (n * (n - 1) / 2) 0 in
   let count = ref 0 in
   let collect () =
-    count := 0;
-    for a = 0 to n - 1 do
-      for b = a + 1 to n - 1 do
-        if in_range a b then begin
-          contact.(!count) <- (a * n) + b;
-          incr count
-        end
+    if use_grid then count := Gen_kernel.Plane.collect plane ~x ~y contact
+    else begin
+      count := 0;
+      for a = 0 to n - 2 do
+        let xa = Array.unsafe_get x a and ya = Array.unsafe_get y a in
+        for b = a + 1 to n - 1 do
+          let dx = xa -. Array.unsafe_get x b
+          and dy = ya -. Array.unsafe_get y b in
+          if (dx *. dx) +. (dy *. dy) <= r2 then begin
+            contact.(!count) <- (a * n) + b;
+            incr count
+          end
+        done
       done
-    done
+    end
   in
   let advance_all () =
     for u = 0 to n - 1 do
@@ -77,7 +91,11 @@ let random_waypoint ?(params = default_waypoint) rng ~n =
       advance_all ();
       collect ()
     done;
-    let packed = contact.(!count - 1 - Prng.int rng !count) in
+    let rank = !count - 1 - Prng.int rng !count in
+    let packed =
+      if use_grid then Gen_kernel.select_prefix contact !count ~rank
+      else contact.(rank)
+    in
     Interaction.make (packed / n) (packed mod n)
 
 let community rng ~n ~communities ~p_intra =
@@ -126,37 +144,67 @@ let community rng ~n ~communities ~p_intra =
 let grid_walkers rng ~n ~rows ~cols =
   if n < 2 then invalid_arg "Mobility.grid_walkers: need at least two nodes";
   if rows < 1 || cols < 1 then invalid_arg "Mobility.grid_walkers: empty grid";
-  let cell = Array.init n (fun _ -> (Prng.int rng rows, Prng.int rng cols)) in
   (* Lazy walk: staying put is allowed, otherwise walkers that all
      move each step keep the parity of r+c invariant and the contact
-     graph splits into two components that can never interact. *)
-  let step u =
-    let r, c = cell.(u) in
-    let moves =
-      List.filter
-        (fun (r, c) -> r >= 0 && r < rows && c >= 0 && c < cols)
-        [ (r, c); (r - 1, c); (r + 1, c); (r, c - 1); (r, c + 1) ]
-    in
-    cell.(u) <- Prng.choose rng (Array.of_list moves)
+     graph splits into two components that can never interact.
+
+     Legal moves are precomputed per cell, in the order the original
+     [List.filter] over [stay; up; down; left; right] produced — the
+     per-cell choice is [Prng.choose] over the same array content, so
+     the draw stream is unchanged while stepping allocates nothing. *)
+  let cells = rows * cols in
+  let moves =
+    Array.init cells (fun cell ->
+        let r = cell / cols and c = cell mod cols in
+        Array.of_list
+          (List.filter_map
+             (fun (r, c) ->
+               if r >= 0 && r < rows && c >= 0 && c < cols then
+                 Some ((r * cols) + c)
+               else None)
+             [ (r, c); (r - 1, c); (r + 1, c); (r, c - 1); (r, c + 1) ]))
   in
+  (* c before r: the cells used to start as tuple literals, whose
+     components evaluate right to left — the first int drawn for a
+     walker was its column. The draw stream must not move. *)
+  let cell = Array.init n (fun _ ->
+      let c = Prng.int rng cols in
+      let r = Prng.int rng rows in
+      (r * cols) + c)
+  in
+  let step u = cell.(u) <- Prng.choose rng moves.(cell.(u)) in
+  (* Co-located pairs via the shared occupancy grid: walkers bucket by
+     cell (touched cells only), so a step costs O(n + colocated pairs)
+     instead of the all-pairs O(n^2) scan. The packed buffer holds the
+     same contact set the scan produced, and the pick consumes the
+     same PRNG draw and selects the same lexicographic rank — element
+     [j] of the original cons list (reverse scan order) was the
+     [count - 1 - j]-th smallest — so the interaction stream is
+     byte-identical to the seed implementation. *)
+  let grid = Gen_kernel.Grid.create ~cells in
+  let contact = Array.make (n * (n - 1) / 2) 0 in
+  let count = ref 0 in
   let colocated () =
-    let acc = ref [] in
-    for a = 0 to n - 1 do
-      for b = a + 1 to n - 1 do
-        if cell.(a) = cell.(b) then acc := (a, b) :: !acc
-      done
+    Gen_kernel.Grid.clear grid;
+    for u = 0 to n - 1 do
+      Gen_kernel.Grid.insert grid ~cell:cell.(u) u
     done;
-    !acc
+    count := 0;
+    Gen_kernel.Grid.same_cell_pairs grid (fun a b ->
+        contact.(!count) <- (a * n) + b;
+        incr count)
   in
   fun _t ->
     let rec advance () =
       for u = 0 to n - 1 do
         step u
       done;
-      match colocated () with
-      | [] -> advance ()
-      | pairs ->
-          let a, b = Prng.choose rng (Array.of_list pairs) in
-          Interaction.make a b
+      colocated ();
+      if !count = 0 then advance ()
+      else begin
+        let rank = !count - 1 - Prng.int rng !count in
+        let packed = Gen_kernel.select_prefix contact !count ~rank in
+        Interaction.make (packed / n) (packed mod n)
+      end
     in
     advance ()
