@@ -44,6 +44,8 @@ module Counterexamples = Doda_adversary.Counterexamples
 module Experiment = Doda_sim.Experiment
 module Scaling = Doda_sim.Scaling
 module Table = Doda_sim.Table
+module Obs_metrics = Doda_obs.Metrics
+module Obs_span = Doda_obs.Span
 
 let master_seed = 20160701
 let replications = 20
@@ -70,6 +72,13 @@ let pool = lazy (Pool.create ~jobs:!jobs)
 
 let replicate ~replications ~seed f =
   Experiment.replicate_par ~pool:(Lazy.force pool) ~replications ~seed f
+
+(* One span per experiment suite, archived into the JSON results and —
+   with DODA_TRACE=<file> in the environment — exported as a Chrome
+   trace-event file for Perfetto. The experiments themselves stay
+   untelemetered here: their committed tables are byte-identical
+   baselines, and suite-level spans cost one clock pair each. *)
+let suite_spans = lazy (Obs_span.create ~capacity:256 ())
 
 (* With DODA_BENCH_CSV=<dir> in the environment, every printed table is
    also archived as CSV under that directory (empty value: disabled). *)
@@ -1248,6 +1257,26 @@ let micro () =
              let rng = Prng.create 77 in
              let sched = Randomized.uniform_schedule rng ~n ~sink:0 in
              ignore (Engine.run ~record:`Count ~max_steps:(40 * n * n) Algorithms.gathering sched)));
+      (* Telemetry primitives: an enabled counter increment is a load,
+         add, store; a disabled one is a single predictable branch.
+         Both must stay within noise of the other sub-ns-scale rows
+         here for inline instrumentation to be viable on hot paths. *)
+      (let reg = Obs_metrics.create () in
+       let c = Obs_metrics.counter reg "bench.counter" in
+       Test.make ~name:"obs/counter-incr-enabled"
+         (Staged.stage (fun () -> Obs_metrics.incr c)));
+      (let c = Obs_metrics.counter Obs_metrics.disabled "bench.counter" in
+       Test.make ~name:"obs/counter-incr-disabled"
+         (Staged.stage (fun () -> Obs_metrics.incr c)));
+      (let reg = Obs_metrics.create () in
+       let h = Obs_metrics.histogram reg "bench.histogram" in
+       let v = ref 0 in
+       Test.make ~name:"obs/histogram-observe-enabled"
+         (Staged.stage (fun () ->
+              incr v;
+              Obs_metrics.observe h !v)));
+      Test.make ~name:"obs/with-span-disabled"
+        (Staged.stage (fun () -> Obs_span.with_span Obs_span.null "x" Fun.id));
       (* Recording overhead of the run-core: count-only vs the flat SoA
          log vs the seed's boxed list, the latter emulated through an
          [on_transmit] observer consing exactly what the old engine
@@ -1336,13 +1365,28 @@ let write_json path results =
           ])
       results
   in
+  (* Suite-level telemetry spans (monotonic clock, microseconds since
+     the first suite started): the same events DODA_TRACE exports in
+     Chrome trace format, kept here so the archive is self-contained. *)
+  let spans =
+    List.map
+      (fun (e : Obs_span.event) ->
+        Json.Obj
+          [
+            ("name", Json.String e.Obs_span.name);
+            ("ts_us", Json.Float (float_of_int e.Obs_span.start_ns /. 1e3));
+            ("dur_us", Json.Float (float_of_int e.Obs_span.dur_ns /. 1e3));
+          ])
+      (Obs_span.events (Lazy.force suite_spans))
+  in
   Json.write path
     (Json.Obj
        [
-         ("schema", Json.Int 1);
+         ("schema", Json.Int 2);
          ("jobs", Json.Int !jobs);
          ("seed", Json.Int master_seed);
          ("replications", Json.Int replications);
+         ("spans", Json.List spans);
          ("experiments", Json.List experiments);
        ]);
   Printf.printf "\n[bench results written to %s]\n" path
@@ -1376,7 +1420,7 @@ let () =
       | Some run ->
           current_tables := [];
           let t0 = Unix.gettimeofday () in
-          run ();
+          Obs_span.with_span (Lazy.force suite_spans) ("bench/" ^ name) run;
           let elapsed = Unix.gettimeofday () -. t0 in
           results := (name, elapsed, List.rev !current_tables) :: !results
       | None ->
@@ -1387,4 +1431,10 @@ let () =
   (match json_path with
   | None -> ()
   | Some path -> write_json path (List.rev !results));
+  (match Sys.getenv_opt "DODA_TRACE" with
+  | None | Some "" -> ()
+  | Some path ->
+      Doda_obs.Trace_event.write ~process_name:"doda-bench" path
+        (Lazy.force suite_spans);
+      Printf.printf "[chrome trace written to %s]\n" path);
   if Lazy.is_val pool then Pool.shutdown (Lazy.force pool)

@@ -30,6 +30,9 @@ module Counterexamples = Doda_adversary.Counterexamples
 module Experiment = Doda_sim.Experiment
 module Scaling = Doda_sim.Scaling
 module Table = Doda_sim.Table
+module Instrument = Doda_obs.Instrument
+module Metrics = Doda_obs.Metrics
+module Span = Doda_obs.Span
 
 open Cmdliner
 
@@ -41,8 +44,35 @@ module Workload = Doda_sim.Workload
 let parse_source s =
   match Workload.parse s with Ok w -> Ok w | Error msg -> Error (`Msg msg)
 
-let schedule_of_source source ~n ~sink ~seed =
-  Workload.schedule source ~n ~sink ~seed
+let schedule_of_source ?telemetry source ~n ~sink ~seed =
+  Workload.schedule ?telemetry source ~n ~sink ~seed
+
+(* --metrics / --trace: shared by run and sweep. Telemetry is created
+   only when one of the flags asks for it; otherwise every code path
+   sees the shared disabled handle. *)
+let telemetry_of ~metrics ~trace =
+  if metrics || trace <> None then Instrument.create () else Instrument.disabled
+
+let emit_trace tel = function
+  | None -> ()
+  | Some path ->
+      Instrument.write_trace ~process_name:"doda" tel path;
+      Format.printf "trace written to %s@." path
+
+let metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print telemetry counters and span timings after the run.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file (load it in Perfetto or \
+           chrome://tracing).")
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -86,33 +116,41 @@ let find_algo name n =
 (* doda run                                                            *)
 
 let run_cmd =
-  let run algo_name n sink seed source max_steps timeline =
+  let run algo_name n sink seed source max_steps timeline metrics trace =
+    let tel = telemetry_of ~metrics ~trace in
     let algo = find_algo algo_name n in
-    let sched = schedule_of_source source ~n ~sink ~seed in
+    let sched = schedule_of_source ~telemetry:tel source ~n ~sink ~seed in
     let max_steps =
       match (max_steps, Schedule.length sched) with
       | Some m, _ -> Some m
       | None, Some _ -> None
       | None, None -> Some ((200 * n * n) + 10_000)
     in
-    let result = Engine.run ?max_steps algo sched in
+    let result =
+      Instrument.with_span tel "engine/run" (fun () ->
+          Engine.run ?max_steps ~observers:(Instrument.engine_observers tel) algo
+            sched)
+    in
     Format.printf "algorithm: %s@." algo.Doda_core.Algorithm.name;
     Format.printf "%a@." Engine.pp_result result;
     let examined = Schedule.materialized sched in
     let prefix = Schedule.prefix sched examined in
-    (match Convergecast.opt ~n:(Schedule.n sched) ~sink prefix 0 with
-    | Some o -> Format.printf "offline optimum on played prefix: %d@." (o + 1)
-    | None -> Format.printf "offline optimum on played prefix: infeasible@.");
+    Instrument.with_span tel "analysis/offline-opt" (fun () ->
+        match Convergecast.opt ~n:(Schedule.n sched) ~sink prefix 0 with
+        | Some o -> Format.printf "offline optimum on played prefix: %d@." (o + 1)
+        | None -> Format.printf "offline optimum on played prefix: infeasible@.");
     Format.printf "cost: %a@." Cost.pp
       (Cost.of_result ~n:(Schedule.n sched) ~sink prefix result);
     if timeline then
-      print_string (Doda_sim.Timeline.render ~n:(Schedule.n sched) ~sink result)
+      print_string (Doda_sim.Timeline.render ~n:(Schedule.n sched) ~sink result);
+    if metrics then print_string (Instrument.summary tel);
+    emit_trace tel trace
   in
   let timeline =
     Arg.(value & flag & info [ "timeline" ] ~doc:"Draw an ASCII execution timeline.")
   in
   let term = Term.(const run $ algo_arg $ n_arg $ sink_arg $ seed_arg $ source_arg
-                   $ max_steps_arg $ timeline)
+                   $ max_steps_arg $ timeline $ metrics_flag $ trace_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one algorithm against one interaction source.") term
 
@@ -163,11 +201,12 @@ let duel_cmd =
 (* doda sweep                                                          *)
 
 let sweep_cmd =
-  let sweep algo_name ns reps seed source csv jobs =
+  let sweep algo_name ns reps seed source csv jobs metrics trace =
     if jobs < 1 then begin
       Printf.eprintf "--jobs must be >= 1, got %d\n" jobs;
       exit 2
     end;
+    let tel = telemetry_of ~metrics ~trace in
     let t = Table.create ~header:[ "n"; "mean"; "stderr"; "success" ] in
     (* One pool for the whole sweep. Seeds are pre-split sequentially
        (Experiment.replicate_par), so the table is identical whatever
@@ -178,7 +217,8 @@ let sweep_cmd =
         (fun n ->
           let algo = find_algo algo_name n in
           let m =
-            Experiment.run_schedule_factory ~pool ~replications:reps ~seed
+            Experiment.run_schedule_factory ~pool ~telemetry:tel
+              ~replications:reps ~seed
               ~max_steps:((400 * n * n) + 10_000)
               ~label:algo.Doda_core.Algorithm.name ~n
               (fun rng ->
@@ -208,7 +248,12 @@ let sweep_cmd =
     if List.length points >= 2 then begin
       let fit = Scaling.exponent points in
       Format.printf "log-log exponent: %.3f (r2 = %.4f)@." fit.slope fit.r2
-    end
+    end;
+    (* Counters only, no span timings: with fixed seeds this block is
+       byte-identical at any --jobs (the determinism CI check diffs
+       it), while wall-clock spans never are. *)
+    if metrics then print_string (Metrics.summary (Instrument.metrics tel));
+    emit_trace tel trace
   in
   let ns =
     Arg.(
@@ -242,7 +287,8 @@ let sweep_cmd =
              count.")
   in
   let term =
-    Term.(const sweep $ algo_arg $ ns $ reps $ seed_arg $ source_arg $ csv $ jobs)
+    Term.(const sweep $ algo_arg $ ns $ reps $ seed_arg $ source_arg $ csv $ jobs
+          $ metrics_flag $ trace_arg)
   in
   Cmd.v
     (Cmd.info "sweep"

@@ -6,7 +6,10 @@
    paper's Gathering algorithm against the uniform randomized adversary
    and compare it with the offline optimum.
 
-     dune exec examples/quickstart.exe *)
+     dune exec examples/quickstart.exe
+
+   For the same loop with telemetry attached (metric counters, span
+   timings, Chrome trace export) see quickstart_instrumented.ml. *)
 
 module Prng = Doda_prng.Prng
 module Schedule = Doda_dynamic.Schedule

@@ -1,0 +1,38 @@
+(** One telemetry handle: a {!Metrics} registry bundled with a
+    {!Span} sink, threaded through the stack as [?telemetry].
+
+    The {!disabled} instance is free by construction: every operation
+    is a single branch and {!engine_observers} returns [[]], so a run
+    with telemetry off executes the same code as an uninstrumented
+    one. *)
+
+type t
+
+val create : ?span_capacity:int -> unit -> t
+val disabled : t
+val enabled : t -> bool
+val metrics : t -> Metrics.t
+val spans : t -> Span.t
+
+val shard : t -> t
+(** Per-worker-slot shard (identity when disabled); see
+    {!Metrics.shard} and {!Span.shard}. *)
+
+val absorb : t -> t -> unit
+(** [absorb t child] folds a shard back; deterministic for metrics
+    (integer sums / maxima). *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+val instant : t -> string -> unit
+
+val summary : t -> string
+(** Metrics table followed by the span table; [""] when disabled. *)
+
+val write_trace : ?process_name:string -> t -> string -> unit
+(** Chrome trace-event JSON with the metrics snapshot embedded. *)
+
+val engine_observers : t -> Doda_core.Engine.observer list
+(** [[]] when disabled. Otherwise one observer maintaining
+    [engine.steps], [engine.transmissions], [engine.runs],
+    [engine.stop.*] counters and the [engine.duration] histogram
+    (power-of-two buckets). *)

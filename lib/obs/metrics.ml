@@ -1,0 +1,336 @@
+(* Allocation-free metrics: counters, gauges and fixed-bucket
+   histograms behind a named registry.
+
+   The design constraint mirrors the engine's [has_step_obs] guard: an
+   instrument obtained from a disabled registry is a shared dummy whose
+   every operation is a single test of an immutable boolean — no
+   allocation, no indirection, branch-predictable — so instrumented
+   code can keep its counters inline on hot paths and pay nothing when
+   telemetry is off.
+
+   Registries are single-domain values. Parallel code gives each
+   worker slot its own [shard] and folds the shards back with
+   [absorb] on the coordinating domain (see [Pool.map_array_sharded]);
+   counter and histogram merging is integer addition, so the aggregate
+   is identical whatever the slot count or scheduling. The registry
+   lock only guards instrument creation (get-or-create), never
+   increments. *)
+
+type counter = { c_on : bool; c_name : string; mutable c_value : int }
+
+type gauge = {
+  g_on : bool;
+  g_name : string;
+  mutable g_value : int;
+  mutable g_set : bool;
+}
+
+type histogram = {
+  h_on : bool;
+  h_name : string;
+  h_bounds : int array;
+      (* strictly increasing inclusive upper bounds; bucket i counts
+         values <= h_bounds.(i), the final bucket everything above. *)
+  h_buckets : int array; (* length = Array.length h_bounds + 1 *)
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = {
+  enabled : bool;
+  lock : Mutex.t;
+  tbl : (string, instrument) Hashtbl.t;
+  mutable rev_names : string list; (* creation order, reversed *)
+}
+
+let create () =
+  {
+    enabled = true;
+    lock = Mutex.create ();
+    tbl = Hashtbl.create 16;
+    rev_names = [];
+  }
+
+let disabled =
+  {
+    enabled = false;
+    lock = Mutex.create ();
+    tbl = Hashtbl.create 1;
+    rev_names = [];
+  }
+
+let enabled t = t.enabled
+
+(* The shared dummies every disabled registry hands out: their [_on]
+   field is false, so operations reduce to one branch. *)
+let off_counter = { c_on = false; c_name = ""; c_value = 0 }
+let off_gauge = { g_on = false; g_name = ""; g_value = 0; g_set = false }
+
+let off_histogram =
+  {
+    h_on = false;
+    h_name = "";
+    h_bounds = [||];
+    h_buckets = [| 0 |];
+    h_count = 0;
+    h_sum = 0;
+    h_min = 0;
+    h_max = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let intern t name make =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some i -> i
+      | None ->
+          let i = make () in
+          Hashtbl.add t.tbl name i;
+          t.rev_names <- name :: t.rev_names;
+          i)
+
+let kind_error name = invalid_arg ("Metrics: " ^ name ^ " already registered as a different kind")
+
+let counter t name =
+  if not t.enabled then off_counter
+  else
+    match
+      intern t name (fun () -> Counter { c_on = true; c_name = name; c_value = 0 })
+    with
+    | Counter c -> c
+    | _ -> kind_error name
+
+let gauge t name =
+  if not t.enabled then off_gauge
+  else
+    match
+      intern t name (fun () ->
+          Gauge { g_on = true; g_name = name; g_value = 0; g_set = false })
+    with
+    | Gauge g -> g
+    | _ -> kind_error name
+
+let pow2_bounds ~upto =
+  if upto < 0 || upto > 61 then invalid_arg "Metrics.pow2_bounds: upto out of range";
+  Array.init (upto + 1) (fun i -> 1 lsl i)
+
+let default_bounds = pow2_bounds ~upto:30
+
+let check_bounds bounds =
+  if Array.length bounds = 0 then
+    invalid_arg "Metrics.histogram: bounds must be non-empty";
+  for i = 1 to Array.length bounds - 1 do
+    if bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Metrics.histogram: bounds must be strictly increasing"
+  done
+
+let histogram ?bounds t name =
+  if not t.enabled then off_histogram
+  else begin
+    let explicit = bounds <> None in
+    let bounds = match bounds with Some b -> b | None -> default_bounds in
+    check_bounds bounds;
+    match
+      intern t name (fun () ->
+          Histogram
+            {
+              h_on = true;
+              h_name = name;
+              h_bounds = Array.copy bounds;
+              h_buckets = Array.make (Array.length bounds + 1) 0;
+              h_count = 0;
+              h_sum = 0;
+              h_min = max_int;
+              h_max = min_int;
+            })
+    with
+    | Histogram h ->
+        if explicit && h.h_bounds <> bounds then
+          invalid_arg ("Metrics.histogram: " ^ name ^ " registered with different bounds");
+        h
+    | _ -> kind_error name
+  end
+
+(* -- operations: one branch on the disabled path ------------------- *)
+
+let incr c = if c.c_on then c.c_value <- c.c_value + 1
+let add c n = if c.c_on then c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+
+let set g v =
+  if g.g_on then begin
+    g.g_value <- v;
+    g.g_set <- true
+  end
+
+let set_max g v =
+  if g.g_on && ((not g.g_set) || v > g.g_value) then begin
+    g.g_value <- v;
+    g.g_set <- true
+  end
+
+let gauge_value g = if g.g_set then Some g.g_value else None
+
+let observe h v =
+  if h.h_on then begin
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum + v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    let bounds = h.h_bounds in
+    let k = Array.length bounds in
+    let i = ref 0 in
+    while !i < k && v > Array.unsafe_get bounds !i do
+      i := !i + 1
+    done;
+    h.h_buckets.(!i) <- h.h_buckets.(!i) + 1
+  end
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+let histogram_mean h =
+  if h.h_count = 0 then None
+  else Some (float_of_int h.h_sum /. float_of_int h.h_count)
+
+let histogram_range h = if h.h_count = 0 then None else Some (h.h_min, h.h_max)
+
+(* Quantile estimate from the bucket counts: find the bucket holding
+   the target rank and interpolate linearly inside it, clamping bucket
+   edges to the observed min/max. Total order of guards: an empty (or
+   disabled) histogram yields [None], a single sample yields a finite
+   value inside [min, max] — never NaN, never an exception. *)
+let approx_quantile h q =
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Metrics.approx_quantile: q must be in [0, 1]";
+  if h.h_count = 0 then None
+  else begin
+    let lo_all = float_of_int h.h_min and hi_all = float_of_int h.h_max in
+    let target = Stdlib.max 1.0 (q *. float_of_int h.h_count) in
+    let k = Array.length h.h_bounds in
+    let res = ref None in
+    let cum = ref 0.0 in
+    let i = ref 0 in
+    while !res = None && !i <= k do
+      let c = float_of_int h.h_buckets.(!i) in
+      if c > 0.0 && !cum +. c >= target then begin
+        let edge_lo =
+          if !i = 0 then lo_all
+          else Stdlib.max lo_all (float_of_int h.h_bounds.(!i - 1))
+        in
+        let edge_hi =
+          if !i = k then hi_all
+          else Stdlib.min hi_all (float_of_int h.h_bounds.(!i))
+        in
+        let frac = (target -. !cum) /. c in
+        res := Some (edge_lo +. (frac *. (edge_hi -. edge_lo)))
+      end
+      else begin
+        cum := !cum +. c;
+        i := !i + 1
+      end
+    done;
+    match !res with Some v -> Some v | None -> Some hi_all
+  end
+
+(* -- sharding ------------------------------------------------------ *)
+
+let shard t = if not t.enabled then t else create ()
+
+let absorb parent child =
+  if child.enabled && child != parent then
+    List.iter
+      (fun name ->
+        match Hashtbl.find_opt child.tbl name with
+        | None -> ()
+        | Some (Counter c) -> add (counter parent name) c.c_value
+        | Some (Gauge g) -> if g.g_set then set_max (gauge parent name) g.g_value
+        | Some (Histogram h) ->
+            let p = histogram ~bounds:h.h_bounds parent name in
+            if p.h_on && h.h_count > 0 then begin
+              for i = 0 to Array.length h.h_buckets - 1 do
+                p.h_buckets.(i) <- p.h_buckets.(i) + h.h_buckets.(i)
+              done;
+              p.h_count <- p.h_count + h.h_count;
+              p.h_sum <- p.h_sum + h.h_sum;
+              if h.h_min < p.h_min then p.h_min <- h.h_min;
+              if h.h_max > p.h_max then p.h_max <- h.h_max
+            end)
+      (List.rev child.rev_names)
+
+(* -- read-out ------------------------------------------------------ *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of int option
+  | Histogram_v of {
+      count : int;
+      sum : int;
+      min : int;
+      max : int;
+      bounds : int array;
+      buckets : int array;
+    }
+
+let dump t =
+  locked t (fun () ->
+      let names = List.sort String.compare (List.rev t.rev_names) in
+      List.map
+        (fun name ->
+          match Hashtbl.find t.tbl name with
+          | Counter c -> (name, Counter_v c.c_value)
+          | Gauge g -> (name, Gauge_v (gauge_value g))
+          | Histogram h ->
+              ( name,
+                Histogram_v
+                  {
+                    count = h.h_count;
+                    sum = h.h_sum;
+                    min = (if h.h_count = 0 then 0 else h.h_min);
+                    max = (if h.h_count = 0 then 0 else h.h_max);
+                    bounds = Array.copy h.h_bounds;
+                    buckets = Array.copy h.h_buckets;
+                  } ))
+        names)
+
+let summary t =
+  let buf = Buffer.create 256 in
+  locked t (fun () ->
+      List.iter
+        (fun name ->
+          match Hashtbl.find t.tbl name with
+          | Counter c ->
+              Buffer.add_string buf
+                (Printf.sprintf "counter    %-32s %d\n" name c.c_value)
+          | Gauge g ->
+              Buffer.add_string buf
+                (Printf.sprintf "gauge      %-32s %s\n" name
+                   (match gauge_value g with
+                   | Some v -> string_of_int v
+                   | None -> "-"))
+          | Histogram h ->
+              if h.h_count = 0 then
+                Buffer.add_string buf
+                  (Printf.sprintf "histogram  %-32s count=0\n" name)
+              else begin
+                let q p =
+                  match approx_quantile h p with
+                  | Some v -> Printf.sprintf "%.0f" v
+                  | None -> "-"
+                in
+                Buffer.add_string buf
+                  (Printf.sprintf
+                     "histogram  %-32s count=%d sum=%d mean=%.1f min=%d max=%d \
+                      p50~%s p99~%s\n"
+                     name h.h_count h.h_sum
+                     (float_of_int h.h_sum /. float_of_int h.h_count)
+                     h.h_min h.h_max (q 0.5) (q 0.99))
+              end)
+        (List.sort String.compare (List.rev t.rev_names)));
+  Buffer.contents buf

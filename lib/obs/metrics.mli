@@ -1,0 +1,125 @@
+(** Allocation-free metrics registry: named counters, gauges and
+    fixed-bucket histograms.
+
+    Instruments are obtained once (get-or-create by name, under the
+    registry lock) and then updated lock-free on the owning domain.
+    Every update operation on an instrument from a {!disabled} registry
+    is a single boolean test — the pattern the engine's [has_step_obs]
+    guard uses — so hot loops keep their instruments inline and pay
+    nothing when telemetry is off.
+
+    For parallel work, give each worker slot a {!shard} and fold the
+    shards back with {!absorb} on the coordinating domain. Counter and
+    histogram merging is integer addition (gauges keep the max), so
+    aggregates are identical for any slot count and any scheduling —
+    the property the [--jobs]-determinism CI check relies on. *)
+
+type t
+(** A registry. Single-domain: never share one instrument or registry
+    across domains; use {!shard}/{!absorb}. *)
+
+val create : unit -> t
+(** A fresh enabled registry. *)
+
+val disabled : t
+(** The shared off registry: instrument constructors return shared
+    no-op dummies and register nothing. *)
+
+val enabled : t -> bool
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Get or create. @raise Invalid_argument if [name] is registered as
+    a different kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+(** 0 for a disabled counter. *)
+
+(** {1 Gauges}
+
+    Last-set value; {!absorb} keeps the maximum across shards (a
+    high-watermark), the only deterministic merge for order-free
+    sampling. *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+val set : gauge -> int -> unit
+
+val set_max : gauge -> int -> unit
+(** Keep the maximum of the current and given value. *)
+
+val gauge_value : gauge -> int option
+(** [None] until first set (and always for a disabled gauge). *)
+
+(** {1 Histograms} *)
+
+type histogram
+
+val pow2_bounds : upto:int -> int array
+(** [[|1; 2; 4; ...; 2^upto|]] — the canonical bucket bounds.
+    @raise Invalid_argument unless [0 <= upto <= 61]. *)
+
+val histogram : ?bounds:int array -> t -> string -> histogram
+(** Get or create. [bounds] are strictly increasing inclusive upper
+    bucket bounds (default [pow2_bounds ~upto:30]); bucket [i] counts
+    observations [<= bounds.(i)] and a final bucket counts the
+    overflow. @raise Invalid_argument on invalid bounds, a kind
+    mismatch, or explicit bounds differing from a previous
+    registration of [name]. *)
+
+val observe : histogram -> int -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> int
+
+val histogram_mean : histogram -> float option
+(** [None] when empty — never NaN. *)
+
+val histogram_range : histogram -> (int * int) option
+(** [(min, max)] of the observations, [None] when empty. *)
+
+val approx_quantile : histogram -> float -> float option
+(** Quantile estimated from the bucket counts: linear interpolation
+    inside the bucket holding the target rank, bucket edges clamped to
+    the observed min/max. [None] when empty; a single observation
+    yields a finite value in [[min, max]]. Never NaN.
+    @raise Invalid_argument unless [0 <= q <= 1]. *)
+
+(** {1 Sharding} *)
+
+val shard : t -> t
+(** A fresh registry for one worker slot — the identity on a disabled
+    registry. *)
+
+val absorb : t -> t -> unit
+(** [absorb parent child] folds [child]'s instruments into [parent]:
+    counters and histograms add, gauges keep the maximum. Histograms
+    must agree on bounds ([Invalid_argument] otherwise). No-op when
+    [child] is disabled or is [parent] itself. *)
+
+(** {1 Read-out} *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of int option
+  | Histogram_v of {
+      count : int;
+      sum : int;
+      min : int;  (** 0 when [count = 0] *)
+      max : int;  (** 0 when [count = 0] *)
+      bounds : int array;
+      buckets : int array;
+    }
+
+val dump : t -> (string * value) list
+(** Snapshot of every instrument, sorted by name (deterministic). *)
+
+val summary : t -> string
+(** Plain-text table, one line per instrument, sorted by name;
+    [""] for an empty or disabled registry. *)

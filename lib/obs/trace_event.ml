@@ -1,0 +1,96 @@
+(* Chrome trace-event JSON export.
+
+   Produces the "JSON object format" understood by chrome://tracing and
+   Perfetto: a top-level object with a [traceEvents] array of complete
+   ("X") and instant ("i") events, timestamps in microseconds. Metrics
+   snapshots ride along under a non-standard top-level "metrics" key,
+   which trace viewers ignore.
+
+   doda_obs sits below doda_sim in the library stack, so it carries its
+   own minimal JSON writer rather than reusing [Doda_sim.Json]. *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Microseconds with nanosecond precision kept as a decimal. *)
+let add_us buf ns =
+  Buffer.add_string buf (Printf.sprintf "%.3f" (float_of_int ns /. 1e3))
+
+let add_event buf (e : Span.event) =
+  Buffer.add_string buf "{\"name\":";
+  add_escaped buf e.Span.name;
+  Buffer.add_string buf ",\"cat\":\"doda\",\"ph\":";
+  if Span.is_instant e then Buffer.add_string buf "\"i\",\"s\":\"t\""
+  else Buffer.add_string buf "\"X\"";
+  Buffer.add_string buf ",\"ts\":";
+  add_us buf e.Span.start_ns;
+  if not (Span.is_instant e) then begin
+    Buffer.add_string buf ",\"dur\":";
+    add_us buf e.Span.dur_ns
+  end;
+  Buffer.add_string buf ",\"pid\":1,\"tid\":";
+  Buffer.add_string buf (string_of_int e.Span.tid);
+  Buffer.add_char buf '}'
+
+let add_metrics buf metrics =
+  Buffer.add_string buf "{";
+  let first = ref true in
+  List.iter
+    (fun (name, v) ->
+      if !first then first := false else Buffer.add_char buf ',';
+      add_escaped buf name;
+      Buffer.add_char buf ':';
+      match v with
+      | Metrics.Counter_v n -> Buffer.add_string buf (string_of_int n)
+      | Metrics.Gauge_v None -> Buffer.add_string buf "null"
+      | Metrics.Gauge_v (Some n) -> Buffer.add_string buf (string_of_int n)
+      | Metrics.Histogram_v { count; sum; min; max; _ } ->
+          Buffer.add_string buf
+            (Printf.sprintf "{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d}"
+               count sum min max))
+    (Metrics.dump metrics);
+  Buffer.add_char buf '}'
+
+let to_string ?metrics ?(process_name = "doda") sink =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  Buffer.add_string buf "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":";
+  add_escaped buf process_name;
+  Buffer.add_string buf "}}";
+  List.iter
+    (fun e ->
+      Buffer.add_char buf ',';
+      add_event buf e)
+    (Span.events sink);
+  Buffer.add_char buf ']';
+  Buffer.add_string buf ",\"displayTimeUnit\":\"ms\"";
+  (match metrics with
+  | Some m when Metrics.enabled m ->
+      Buffer.add_string buf ",\"metrics\":";
+      add_metrics buf m
+  | _ -> ());
+  (let d = Span.dropped sink in
+   if d > 0 then Buffer.add_string buf (Printf.sprintf ",\"droppedEvents\":%d" d));
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let write ?metrics ?process_name path sink =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string ?metrics ?process_name sink);
+      output_char oc '\n')

@@ -1,0 +1,12 @@
+(** Chrome trace-event JSON export for {!Span} sinks.
+
+    The output is the trace-viewer "JSON object format":
+    [{"traceEvents": [...], ...}] with complete ("X") events carrying
+    [ts]/[dur] in microseconds and instant ("i") events, loadable by
+    Perfetto and chrome://tracing. A {!Metrics.t} snapshot can ride
+    along under a top-level ["metrics"] key, which viewers ignore. *)
+
+val to_string : ?metrics:Metrics.t -> ?process_name:string -> Span.t -> string
+
+val write : ?metrics:Metrics.t -> ?process_name:string -> string -> Span.t -> unit
+(** [write path sink] writes {!to_string} to [path]. *)

@@ -1,5 +1,6 @@
 module Prng = Doda_prng.Prng
 module Engine = Doda_core.Engine
+module Instrument = Doda_obs.Instrument
 
 type measurement = {
   label : string;
@@ -26,13 +27,44 @@ let dispatch ?pool ?jobs f seeds =
       | None | Some 1 -> Array.map f seeds
       | Some j -> Pool.with_pool ~jobs:j (fun p -> Pool.map_array p f seeds))
 
-let replicate_par ?pool ?jobs ~replications ~seed f =
+(* Instrumented dispatch: [f] takes the telemetry handle to record
+   into. Disabled telemetry routes through plain [dispatch] with the
+   shared off handle — the exact code path of uninstrumented callers.
+   Enabled telemetry gives every execution slot its own shard
+   (sequentially, on the calling domain) and folds the shards back in
+   slot order, so aggregated counters are identical for any job
+   count. *)
+let dispatch_instrumented ?pool ?jobs ~telemetry f seeds =
+  if not (Instrument.enabled telemetry) then dispatch ?pool ?jobs (f telemetry) seeds
+  else begin
+    let sharded p =
+      Pool.map_array_sharded p
+        ~make:(fun () -> Instrument.shard telemetry)
+        ~merge:(Instrument.absorb telemetry)
+        f seeds
+    in
+    match pool with
+    | Some p -> sharded p
+    | None -> (
+        match jobs with
+        | None | Some 1 ->
+            let shard = Instrument.shard telemetry in
+            let r = Array.map (f shard) seeds in
+            Instrument.absorb telemetry shard;
+            r
+        | Some j -> Pool.with_pool ~jobs:j sharded)
+  end
+
+let replicate_par ?pool ?jobs ?(telemetry = Instrument.disabled) ~replications
+    ~seed f =
   let jobs =
     match (pool, jobs) with
     | None, None -> Some (Pool.default_jobs ())
     | _ -> jobs
   in
-  dispatch ?pool ?jobs f (split_seeds ~replications ~seed)
+  dispatch_instrumented ?pool ?jobs ~telemetry
+    (fun tel rng -> Instrument.with_span tel "replicate" (fun () -> f rng))
+    (split_seeds ~replications ~seed)
 
 let of_results ~label ~n results =
   let samples = ref [] in
@@ -45,22 +77,28 @@ let of_results ~label ~n results =
     results;
   { label; n; samples = Array.of_list (List.rev !samples); failures = !failures }
 
-let run_schedule_factory ?pool ?jobs ?(replications = 20) ?(seed = 42) ~max_steps
-    ~label ~n factory algo =
+let run_schedule_factory ?pool ?jobs ?(telemetry = Instrument.disabled)
+    ?(replications = 20) ?(seed = 42) ~max_steps ~label ~n factory algo =
   let results =
-    dispatch ?pool ?jobs
-      (fun rng -> Engine.run ~record:`Count ~max_steps algo (factory rng))
+    dispatch_instrumented ?pool ?jobs ~telemetry
+      (fun tel rng ->
+        let observers = Instrument.engine_observers tel in
+        Instrument.with_span tel "replicate" (fun () ->
+            let sched =
+              Instrument.with_span tel "schedule/build" (fun () -> factory rng)
+            in
+            Engine.run ~record:`Count ~max_steps ~observers algo sched))
       (split_seeds ~replications ~seed)
   in
   of_results ~label ~n results
 
-let run_uniform ?pool ?jobs ?replications ?seed ?(sink = 0) ?max_steps ~n
-    (algo : Doda_core.Algorithm.t) =
+let run_uniform ?pool ?jobs ?telemetry ?replications ?seed ?(sink = 0)
+    ?max_steps ~n (algo : Doda_core.Algorithm.t) =
   let max_steps =
     match max_steps with Some m -> m | None -> (200 * n * n) + 10_000
   in
-  run_schedule_factory ?pool ?jobs ?replications ?seed ~max_steps ~label:algo.name
-    ~n
+  run_schedule_factory ?pool ?jobs ?telemetry ?replications ?seed ~max_steps
+    ~label:algo.name ~n
     (fun rng -> Doda_adversary.Randomized.uniform_schedule rng ~n ~sink)
     algo
 

@@ -41,19 +41,27 @@ val replicate : replications:int -> seed:int -> (Doda_prng.Prng.t -> 'a) -> 'a a
     with independent split streams derived from [seed]. Sequential. *)
 
 val replicate_par :
-  ?pool:Pool.t -> ?jobs:int ->
+  ?pool:Pool.t -> ?jobs:int -> ?telemetry:Doda_obs.Instrument.t ->
   replications:int -> seed:int -> (Doda_prng.Prng.t -> 'a) -> 'a array
 (** Parallel {!replicate}: same seeds, same results, any job count.
     [f] runs on worker domains and must not share mutable state across
     replications (build schedules inside [f]). Uses [pool] if given;
     otherwise a transient pool of [jobs] slots (default
     {!Pool.default_jobs}, i.e. [DODA_JOBS] or the recommended domain
-    count). [~jobs:1] runs on the calling domain. *)
+    count). [~jobs:1] runs on the calling domain.
+
+    [telemetry] (default {!Doda_obs.Instrument.disabled}) records one
+    ["replicate"] span per replication. With telemetry enabled, each
+    execution slot records into its own shard and the shards are
+    folded back deterministically after the batch
+    ({!Pool.map_array_sharded}), so aggregated counters are identical
+    at any job count; disabled telemetry takes the exact
+    uninstrumented code path. *)
 
 val of_results : label:string -> n:int -> Doda_core.Engine.result array -> measurement
 
 val run_uniform :
-  ?pool:Pool.t -> ?jobs:int ->
+  ?pool:Pool.t -> ?jobs:int -> ?telemetry:Doda_obs.Instrument.t ->
   ?replications:int -> ?seed:int -> ?sink:int -> ?max_steps:int ->
   n:int -> Doda_core.Algorithm.t -> measurement
 (** [run_uniform ~n algo] measures [algo] against the uniform
@@ -64,14 +72,21 @@ val run_uniform :
     way. *)
 
 val run_schedule_factory :
-  ?pool:Pool.t -> ?jobs:int ->
+  ?pool:Pool.t -> ?jobs:int -> ?telemetry:Doda_obs.Instrument.t ->
   ?replications:int -> ?seed:int -> max_steps:int ->
   label:string -> n:int ->
   (Doda_prng.Prng.t -> Doda_dynamic.Schedule.t) ->
   Doda_core.Algorithm.t -> measurement
 (** Generic form: a fresh schedule per replication (never shared across
     domains — see the thread-safety invariant above). Runs the engine
-    with [~record:`Count]; only durations are kept. *)
+    with [~record:`Count]; only durations are kept.
+
+    [telemetry] records ["replicate"] and ["schedule/build"] spans per
+    replication and attaches {!Doda_obs.Instrument.engine_observers}
+    ([engine.steps], [engine.transmissions], [engine.duration], ...)
+    to every run, with the same determinism guarantee as
+    {!replicate_par}. Samples and failures are unaffected by
+    telemetry. *)
 
 val replicate_duels :
   ?pool:Pool.t -> ?jobs:int -> ?knowledge:Doda_core.Knowledge.t ->

@@ -55,10 +55,13 @@ let submit pool job =
   Condition.signal pool.work_available;
   Mutex.unlock pool.lock
 
-let map_array pool f arr =
+(* The shared batch core. [f] additionally receives the participating
+   slot's index — caller = 0, worker [k] = [k + 1] — which is what
+   per-slot state such as telemetry shards hangs off. *)
+let map_array_slotted pool f arr =
   let n = Array.length arr in
   if n = 0 then [||]
-  else if Array.length pool.workers = 0 then Array.map f arr
+  else if Array.length pool.workers = 0 then Array.map (f 0) arr
   else begin
     if pool.closed then invalid_arg "Pool.map_array: pool is shut down";
     let results = Array.make n None in
@@ -69,12 +72,12 @@ let map_array pool f arr =
     (* Each participant pulls the next unclaimed index until none are
        left; item results land at their input index, so the output
        order is independent of scheduling. *)
-    let work () =
+    let work slot =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           let r =
-            try Ok (f arr.(i))
+            try Ok (f slot arr.(i))
             with e -> Error (e, Printexc.get_raw_backtrace ())
           in
           results.(i) <- Some r;
@@ -90,8 +93,8 @@ let map_array pool f arr =
     (* One helper job per worker; late-arriving helpers (workers still
        busy with a previous batch) find the index counter exhausted and
        return immediately. *)
-    Array.iter (fun _ -> submit pool work) pool.workers;
-    work ();
+    Array.iteri (fun k _ -> submit pool (fun () -> work (k + 1))) pool.workers;
+    work 0;
     Mutex.lock finished;
     while !done_count < n do
       Condition.wait all_done finished
@@ -103,6 +106,32 @@ let map_array pool f arr =
         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
         | None -> assert false)
       results
+  end
+
+let map_array pool f arr = map_array_slotted pool (fun _slot x -> f x) arr
+
+let map_array_sharded pool ~make ~merge f arr =
+  if Array.length arr = 0 then [||]
+  else begin
+    let slots =
+      if Array.length pool.workers = 0 then 1
+      else Array.length pool.workers + 1
+    in
+    (* Shards are created before the batch and merged after it, both in
+       slot order on the calling domain. Merging must therefore be
+       insensitive to how items were distributed over slots (integer
+       sums and maxima are) for the aggregate to be deterministic. *)
+    let shards = Array.init slots (fun _ -> make ()) in
+    let outcome =
+      try Ok (map_array_slotted pool (fun slot x -> f shards.(slot) x) arr)
+      with e -> Error (e, Printexc.get_raw_backtrace ())
+    in
+    (* Merge even when an item raised: the batch has fully drained by
+       then, and partial telemetry is better than none. *)
+    Array.iter merge shards;
+    match outcome with
+    | Ok r -> r
+    | Error (e, bt) -> Printexc.raise_with_backtrace e bt
   end
 
 let shutdown pool =

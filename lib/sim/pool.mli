@@ -40,6 +40,25 @@ val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
     is re-raised on the caller (with its backtrace) after all items
     finished or were abandoned. *)
 
+val map_array_sharded :
+  t ->
+  make:(unit -> 's) ->
+  merge:('s -> unit) ->
+  ('s -> 'a -> 'b) -> 'a array -> 'b array
+(** [map_array_sharded pool ~make ~merge f arr] is {!map_array} with
+    one piece of per-slot state: before the batch, [make ()] builds a
+    shard per execution slot (caller and each worker), sequentially on
+    the calling domain; during the batch, each item is computed as
+    [f shard item] with the shard of whichever slot runs it; after the
+    batch — including when an item raised — every shard is passed to
+    [merge], in slot order, on the calling domain. A shard is only
+    ever touched by one domain at a time, so shards need no locking.
+
+    Aggregates folded by [merge] are deterministic across job counts
+    exactly when the fold is insensitive to how items were distributed
+    over shards — true for commutative, associative combines such as
+    the integer sums and maxima of {!Doda_obs.Metrics.absorb}. *)
+
 val shutdown : t -> unit
 (** Stop and join all worker domains. Idempotent. Any use of the pool
     after [shutdown] (other than [shutdown]) raises. *)

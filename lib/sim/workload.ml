@@ -57,7 +57,7 @@ let to_string = function
 
 let is_finite = function Trace_file _ -> true | _ -> false
 
-let schedule t ~n ~sink ~seed =
+let build t ~n ~sink ~seed =
   let rng = Prng.create seed in
   match t with
   | Uniform -> Schedule.of_fun ~n ~sink (Generators.uniform rng ~n)
@@ -75,3 +75,11 @@ let schedule t ~n ~sink ~seed =
   | Trace_file path ->
       let s = Trace.load path in
       Schedule.of_sequence ~n:(Stdlib.max n (Sequence.max_node s + 1)) ~sink s
+
+let schedule ?(telemetry = Doda_obs.Instrument.disabled) t ~n ~sink ~seed =
+  (* Only build the span name when someone is listening. *)
+  if Doda_obs.Instrument.enabled telemetry then
+    Doda_obs.Instrument.with_span telemetry
+      ("workload/" ^ to_string t)
+      (fun () -> build t ~n ~sink ~seed)
+  else build t ~n ~sink ~seed

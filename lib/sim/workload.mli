@@ -22,11 +22,14 @@ val to_string : t -> string
 val syntax : string
 (** The one-line syntax summary for help output. *)
 
-val schedule : t -> n:int -> sink:int -> seed:int -> Doda_dynamic.Schedule.t
+val schedule :
+  ?telemetry:Doda_obs.Instrument.t ->
+  t -> n:int -> sink:int -> seed:int -> Doda_dynamic.Schedule.t
 (** Instantiate the workload. Generator-backed workloads are unbounded;
     [Trace_file] is finite and may enlarge [n] to fit the trace's node
-    ids. @raise Sys_error / Failure on unreadable or malformed trace
-    files. *)
+    ids. [telemetry] (default disabled) wraps construction in a
+    ["workload/<name>"] span. @raise Sys_error / Failure on unreadable
+    or malformed trace files. *)
 
 val is_finite : t -> bool
 (** True only for [Trace_file]. *)

@@ -49,6 +49,56 @@ let bin_bounds h i =
   let lo = h.lo +. (float_of_int i *. h.width) in
   (lo, lo +. h.width)
 
+(* Quantile from the binned mass: walk bins in order to the one
+   holding the target rank and interpolate linearly inside it.
+   Underflow mass sits at [lo], overflow at [hi]. Guards make this
+   total: empty histograms return [None]; a single sample (or any mass
+   concentrated in one bin) interpolates inside that bin's finite
+   bounds — never NaN, never a division by zero (only bins with
+   positive count divide). *)
+let quantile h q =
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Histogram.quantile: q must be in [0, 1]";
+  if h.total = 0 then None
+  else begin
+    let target = Stdlib.max 1.0 (q *. float_of_int h.total) in
+    if float_of_int h.under >= target then Some h.lo
+    else begin
+      let cum = ref (float_of_int h.under) in
+      let res = ref None in
+      let i = ref 0 in
+      let nb = Array.length h.counts in
+      while !res = None && !i < nb do
+        let c = float_of_int h.counts.(!i) in
+        if c > 0.0 && !cum +. c >= target then begin
+          let blo, bhi = bin_bounds h !i in
+          let frac = (target -. !cum) /. c in
+          res := Some (blo +. (frac *. (bhi -. blo)))
+        end
+        else begin
+          cum := !cum +. c;
+          i := !i + 1
+        end
+      done;
+      (* Whatever mass remains is overflow, pinned at [hi]. *)
+      match !res with Some v -> Some v | None -> Some h.hi
+    end
+  end
+
+let merge a b =
+  if a.lo <> b.lo || a.hi <> b.hi
+     || Array.length a.counts <> Array.length b.counts
+  then invalid_arg "Histogram.merge: histograms have different binning";
+  {
+    lo = a.lo;
+    hi = a.hi;
+    width = a.width;
+    counts = Array.init (Array.length a.counts) (fun i -> a.counts.(i) + b.counts.(i));
+    under = a.under + b.under;
+    over = a.over + b.over;
+    total = a.total + b.total;
+  }
+
 let render ?(width = 50) h =
   let peak = Array.fold_left Stdlib.max 1 h.counts in
   let buf = Buffer.create 1024 in

@@ -31,5 +31,20 @@ val bin_bounds : t -> int -> float * float
 
 val bins : t -> int
 
+val quantile : t -> float -> float option
+(** [quantile h q] estimates the [q]-quantile from the binned mass:
+    linear interpolation inside the bin holding the target rank, with
+    underflow mass pinned at [lo] and overflow mass at [hi]. Total on
+    every input: [None] when the histogram is empty, and a finite
+    value (never NaN) otherwise — including single-sample and
+    all-outlier histograms. @raise Invalid_argument unless
+    [0 <= q <= 1]. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram with the summed counts of [a] and
+    [b] (bins, underflow, overflow). Safe on empty inputs.
+    @raise Invalid_argument unless both share the same [lo], [hi] and
+    bin count. *)
+
 val render : ?width:int -> t -> string
 (** ASCII bar rendering, one line per bin. *)

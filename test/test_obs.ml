@@ -1,0 +1,355 @@
+(* Telemetry subsystem tests: metrics round-trips, span recording,
+   trace export well-formedness, and — the load-bearing property —
+   deterministic shard merging: aggregated counters identical at
+   --jobs 1, 2, and 4. *)
+
+module Metrics = Doda_obs.Metrics
+module Span = Doda_obs.Span
+module Trace_event = Doda_obs.Trace_event
+module Instrument = Doda_obs.Instrument
+module Pool = Doda_sim.Pool
+module Experiment = Doda_sim.Experiment
+module Algorithms = Doda_core.Algorithms
+module Randomized = Doda_adversary.Randomized
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_counter_roundtrip () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "a.count" in
+  Alcotest.(check int) "fresh" 0 (Metrics.counter_value c);
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.add c 40;
+  Alcotest.(check int) "42" 42 (Metrics.counter_value c);
+  (* Get-or-create returns the same instrument. *)
+  Metrics.incr (Metrics.counter reg "a.count");
+  Alcotest.(check int) "shared" 43 (Metrics.counter_value c)
+
+let test_disabled_is_noop () =
+  let c = Metrics.counter Metrics.disabled "x" in
+  Metrics.incr c;
+  Metrics.add c 10;
+  Alcotest.(check int) "still 0" 0 (Metrics.counter_value c);
+  let g = Metrics.gauge Metrics.disabled "g" in
+  Metrics.set g 5;
+  Alcotest.(check (option int)) "gauge unset" None (Metrics.gauge_value g);
+  let h = Metrics.histogram Metrics.disabled "h" in
+  Metrics.observe h 3;
+  Alcotest.(check int) "histogram empty" 0 (Metrics.histogram_count h);
+  Alcotest.(check string) "summary empty" "" (Metrics.summary Metrics.disabled);
+  Alcotest.(check bool) "dump empty" true (Metrics.dump Metrics.disabled = [])
+
+let test_kind_mismatch () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "same.name");
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Metrics: same.name already registered as a different kind")
+    (fun () -> ignore (Metrics.gauge reg "same.name"))
+
+let test_gauge_max () =
+  let reg = Metrics.create () in
+  let g = Metrics.gauge reg "g" in
+  Alcotest.(check (option int)) "unset" None (Metrics.gauge_value g);
+  Metrics.set_max g 3;
+  Metrics.set_max g 7;
+  Metrics.set_max g 5;
+  Alcotest.(check (option int)) "max kept" (Some 7) (Metrics.gauge_value g);
+  Metrics.set g 1;
+  Alcotest.(check (option int)) "set overrides" (Some 1) (Metrics.gauge_value g)
+
+let test_histogram_roundtrip () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram ~bounds:[| 1; 2; 4; 8 |] reg "h" in
+  List.iter (Metrics.observe h) [ 1; 1; 3; 9; 100 ];
+  Alcotest.(check int) "count" 5 (Metrics.histogram_count h);
+  Alcotest.(check int) "sum" 114 (Metrics.histogram_sum h);
+  Alcotest.(check (option (pair int int))) "range" (Some (1, 100))
+    (Metrics.histogram_range h);
+  match Metrics.dump reg with
+  | [ ("h", Metrics.Histogram_v v) ] ->
+      Alcotest.(check (array int)) "buckets" [| 2; 0; 1; 0; 2 |] v.buckets
+  | _ -> Alcotest.fail "dump shape"
+
+let test_histogram_quantile_guards () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "h" in
+  Alcotest.(check (option (float 0.0))) "empty" None (Metrics.approx_quantile h 0.5);
+  Metrics.observe h 5;
+  (match Metrics.approx_quantile h 0.5 with
+  | Some v ->
+      Alcotest.(check bool) "single sample finite in range" true
+        (Float.is_finite v && v >= 5.0 && v <= 8.0)
+  | None -> Alcotest.fail "single sample gave None");
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Metrics.approx_quantile: q must be in [0, 1]") (fun () ->
+      ignore (Metrics.approx_quantile h 2.0))
+
+let test_absorb_sums () =
+  let parent = Metrics.create () in
+  Metrics.add (Metrics.counter parent "c") 5;
+  Metrics.set_max (Metrics.gauge parent "g") 3;
+  Metrics.observe (Metrics.histogram ~bounds:[| 10 |] parent "h") 4;
+  let child = Metrics.shard parent in
+  Alcotest.(check bool) "shard is fresh" true (child != parent);
+  Metrics.add (Metrics.counter child "c") 7;
+  Metrics.add (Metrics.counter child "child.only") 1;
+  Metrics.set_max (Metrics.gauge child "g") 9;
+  Metrics.observe (Metrics.histogram ~bounds:[| 10 |] child "h") 40;
+  Metrics.absorb parent child;
+  Alcotest.(check int) "counter summed" 12
+    (Metrics.counter_value (Metrics.counter parent "c"));
+  Alcotest.(check int) "new counter materialized" 1
+    (Metrics.counter_value (Metrics.counter parent "child.only"));
+  Alcotest.(check (option int)) "gauge max" (Some 9)
+    (Metrics.gauge_value (Metrics.gauge parent "g"));
+  let h = Metrics.histogram ~bounds:[| 10 |] parent "h" in
+  Alcotest.(check int) "histogram count" 2 (Metrics.histogram_count h);
+  Alcotest.(check (option (pair int int))) "histogram range" (Some (4, 40))
+    (Metrics.histogram_range h);
+  (* Absorbing a disabled child into anything is a no-op. *)
+  Metrics.absorb parent Metrics.disabled;
+  Alcotest.(check int) "disabled child no-op" 12
+    (Metrics.counter_value (Metrics.counter parent "c"))
+
+let test_shard_of_disabled_is_disabled () =
+  Alcotest.(check bool) "identity" true
+    (Metrics.shard Metrics.disabled == Metrics.disabled);
+  Alcotest.(check bool) "instrument shard identity" true
+    (Instrument.shard Instrument.disabled == Instrument.disabled)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+
+(* A fake clock makes recorded timestamps deterministic. *)
+let ticking_clock step =
+  let t = ref 0 in
+  fun () ->
+    let v = !t in
+    t := v + step;
+    v
+
+let test_span_recording () =
+  let s = Span.create ~capacity:8 ~clock:(ticking_clock 10) () in
+  let v = Span.with_span s "work" (fun () -> 42) in
+  Alcotest.(check int) "value through" 42 v;
+  Span.instant s "marker";
+  match Span.events s with
+  | [ w; m ] ->
+      Alcotest.(check string) "name" "work" w.Span.name;
+      (* The epoch consumed the clock's first tick (0), so the span
+         opens at tick 1 = 10ns after the epoch. *)
+      Alcotest.(check int) "start" 10 w.Span.start_ns;
+      Alcotest.(check int) "duration" 10 w.Span.dur_ns;
+      Alcotest.(check bool) "not instant" false (Span.is_instant w);
+      Alcotest.(check string) "marker" "marker" m.Span.name;
+      Alcotest.(check bool) "instant" true (Span.is_instant m)
+  | es -> Alcotest.failf "expected 2 events, got %d" (List.length es)
+
+let test_span_exception_safe () =
+  let s = Span.create ~capacity:4 ~clock:(ticking_clock 1) () in
+  (try Span.with_span s "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check int) "recorded despite raise" 1 (Span.length s)
+
+let test_span_ring_overflow () =
+  let s = Span.create ~capacity:3 ~clock:(ticking_clock 1) () in
+  List.iter (fun i -> Span.instant s (string_of_int i)) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "capped" 3 (Span.length s);
+  Alcotest.(check int) "dropped" 2 (Span.dropped s);
+  Alcotest.(check (list string)) "oldest evicted first" [ "3"; "4"; "5" ]
+    (List.map (fun (e : Span.event) -> e.Span.name) (Span.events s))
+
+let test_span_absorb () =
+  let parent = Span.create ~capacity:8 ~clock:(ticking_clock 1) () in
+  let child = Span.shard parent in
+  Span.instant parent "p";
+  Span.instant child "c1";
+  Span.instant child "c2";
+  Span.absorb parent child;
+  Alcotest.(check (list string)) "appended oldest first" [ "p"; "c1"; "c2" ]
+    (List.map (fun (e : Span.event) -> e.Span.name) (Span.events parent))
+
+let test_null_span_passthrough () =
+  Alcotest.(check int) "value" 7 (Span.with_span Span.null "x" (fun () -> 7));
+  Span.instant Span.null "x";
+  Alcotest.(check int) "no events" 0 (Span.length Span.null);
+  Alcotest.(check string) "empty summary" "" (Span.summary Span.null)
+
+(* ------------------------------------------------------------------ *)
+(* Trace export                                                        *)
+
+let test_trace_json_shape () =
+  let s = Span.create ~capacity:8 ~clock:(ticking_clock 1500) () in
+  ignore (Span.with_span s "phase \"quoted\"\n" (fun () -> ()));
+  Span.instant s "mark";
+  let reg = Metrics.create () in
+  Metrics.add (Metrics.counter reg "c") 3;
+  let json = Trace_event.to_string ~metrics:reg ~process_name:"t" s in
+  let has sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length json && (String.sub json i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "traceEvents" true (has "\"traceEvents\":[");
+  Alcotest.(check bool) "process metadata" true (has "\"ph\":\"M\"");
+  Alcotest.(check bool) "complete event" true (has "\"ph\":\"X\"");
+  Alcotest.(check bool) "instant event" true (has "\"ph\":\"i\"");
+  Alcotest.(check bool) "us conversion" true (has "\"dur\":1.500");
+  Alcotest.(check bool) "escaped quote" true (has "phase \\\"quoted\\\"\\n");
+  Alcotest.(check bool) "metrics embedded" true (has "\"metrics\":{\"c\":3}");
+  (* No raw control characters may survive escaping. *)
+  Alcotest.(check bool) "no raw newlines beyond final" true
+    (not (String.contains json '\n'))
+
+(* ------------------------------------------------------------------ *)
+(* Shard-merge determinism under the pool                              *)
+
+(* Aggregate counters over a pool batch must not depend on the job
+   count: every item adds its value to its slot's shard, shards merge
+   after the batch. *)
+let sharded_total ~jobs items =
+  Pool.with_pool ~jobs (fun pool ->
+      let reg = Metrics.create () in
+      let results =
+        Pool.map_array_sharded pool
+          ~make:(fun () -> Metrics.shard reg)
+          ~merge:(Metrics.absorb reg)
+          (fun shard x ->
+            Metrics.add (Metrics.counter shard "total") x;
+            Metrics.observe (Metrics.histogram ~bounds:[| 8; 64 |] shard "dist") x;
+            x * 2)
+          items
+      in
+      (results, Metrics.dump reg))
+
+let test_pool_sharded_determinism () =
+  let items = Array.init 37 (fun i -> i + 1) in
+  let expected_results = Array.map (fun x -> x * 2) items in
+  let r1, d1 = sharded_total ~jobs:1 items in
+  let r2, d2 = sharded_total ~jobs:2 items in
+  let r4, d4 = sharded_total ~jobs:4 items in
+  Alcotest.(check (array int)) "jobs=1 results" expected_results r1;
+  Alcotest.(check (array int)) "jobs=2 results" expected_results r2;
+  Alcotest.(check (array int)) "jobs=4 results" expected_results r4;
+  Alcotest.(check bool) "dump 1 = dump 2" true (d1 = d2);
+  Alcotest.(check bool) "dump 1 = dump 4" true (d1 = d4);
+  match List.assoc "total" d1 with
+  | Metrics.Counter_v v ->
+      Alcotest.(check int) "sum 1..37" (37 * 38 / 2) v
+  | _ -> Alcotest.fail "counter shape"
+
+let test_pool_sharded_empty_and_errors () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let made = ref 0 and merged = ref 0 in
+      let r =
+        Pool.map_array_sharded pool
+          ~make:(fun () -> Stdlib.incr made)
+          ~merge:(fun () -> Stdlib.incr merged)
+          (fun () x -> x)
+          [||]
+      in
+      Alcotest.(check (array int)) "empty input" [||] r;
+      Alcotest.(check int) "no shards made" 0 !made;
+      (* Shards still merge when an item raises. *)
+      let reg = Metrics.create () in
+      Alcotest.check_raises "item failure propagates" (Failure "item") (fun () ->
+          ignore
+            (Pool.map_array_sharded pool
+               ~make:(fun () -> Metrics.shard reg)
+               ~merge:(Metrics.absorb reg)
+               (fun shard x ->
+                 Metrics.incr (Metrics.counter shard "seen");
+                 if x = 3 then failwith "item";
+                 x)
+               [| 1; 2; 3; 4 |]));
+      Alcotest.(check int) "partial telemetry merged" 4
+        (Metrics.counter_value (Metrics.counter reg "seen")))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: instrumented experiment replication                     *)
+
+let run_measurement ~jobs telemetry =
+  Experiment.run_schedule_factory ~jobs ?telemetry ~replications:6 ~seed:11
+    ~max_steps:20_000 ~label:"g" ~n:16
+    (fun rng -> Randomized.uniform_schedule rng ~n:16 ~sink:0)
+    Algorithms.gathering
+
+let test_experiment_counters_jobs_invariant () =
+  let tel jobs =
+    let t = Instrument.create () in
+    let m = run_measurement ~jobs (Some t) in
+    (m, Metrics.dump (Instrument.metrics t))
+  in
+  let m1, d1 = tel 1 in
+  let m2, d2 = tel 2 in
+  let m4, d4 = tel 4 in
+  let baseline = run_measurement ~jobs:2 None in
+  Alcotest.(check (array (float 0.0))) "samples unaffected by telemetry"
+    baseline.Experiment.samples m1.Experiment.samples;
+  Alcotest.(check (array (float 0.0))) "samples jobs=2" baseline.Experiment.samples
+    m2.Experiment.samples;
+  Alcotest.(check (array (float 0.0))) "samples jobs=4" baseline.Experiment.samples
+    m4.Experiment.samples;
+  Alcotest.(check bool) "counters jobs 1 = 2" true (d1 = d2);
+  Alcotest.(check bool) "counters jobs 1 = 4" true (d1 = d4);
+  (match List.assoc "engine.runs" d1 with
+  | Metrics.Counter_v v -> Alcotest.(check int) "one run per replication" 6 v
+  | _ -> Alcotest.fail "engine.runs shape");
+  match List.assoc "engine.transmissions" d1 with
+  | Metrics.Counter_v v ->
+      Alcotest.(check bool) "transmissions counted" true (v > 0)
+  | _ -> Alcotest.fail "engine.transmissions shape"
+
+let test_experiment_spans_recorded () =
+  let t = Instrument.create () in
+  ignore (run_measurement ~jobs:2 (Some t));
+  let names =
+    List.sort_uniq String.compare
+      (List.map (fun (e : Span.event) -> e.Span.name) (Span.events (Instrument.spans t)))
+  in
+  Alcotest.(check (list string)) "replicate and build spans"
+    [ "replicate"; "schedule/build" ] names
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter roundtrip" `Quick test_counter_roundtrip;
+          Alcotest.test_case "disabled is noop" `Quick test_disabled_is_noop;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "gauge max" `Quick test_gauge_max;
+          Alcotest.test_case "histogram roundtrip" `Quick test_histogram_roundtrip;
+          Alcotest.test_case "histogram quantile guards" `Quick
+            test_histogram_quantile_guards;
+          Alcotest.test_case "absorb sums" `Quick test_absorb_sums;
+          Alcotest.test_case "shard of disabled" `Quick
+            test_shard_of_disabled_is_disabled;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "recording" `Quick test_span_recording;
+          Alcotest.test_case "exception safe" `Quick test_span_exception_safe;
+          Alcotest.test_case "ring overflow" `Quick test_span_ring_overflow;
+          Alcotest.test_case "absorb" `Quick test_span_absorb;
+          Alcotest.test_case "null passthrough" `Quick test_null_span_passthrough;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "json shape" `Quick test_trace_json_shape ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "pool determinism jobs 1/2/4" `Quick
+            test_pool_sharded_determinism;
+          Alcotest.test_case "empty and errors" `Quick
+            test_pool_sharded_empty_and_errors;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "counters invariant under jobs" `Quick
+            test_experiment_counters_jobs_invariant;
+          Alcotest.test_case "spans recorded" `Quick test_experiment_spans_recorded;
+        ] );
+    ]

@@ -114,6 +114,79 @@ let test_histogram_render () =
   let s = Histogram.render h in
   Alcotest.(check bool) "has bars" true (String.length s > 0)
 
+let finite_opt name = function
+  | None -> Alcotest.failf "%s: expected Some" name
+  | Some v ->
+      Alcotest.(check bool) (name ^ " finite") true (Float.is_finite v);
+      v
+
+let test_histogram_quantile_empty () =
+  (* Empty histogram: None on every q, no NaN, no exception. *)
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter
+    (fun q ->
+      Alcotest.(check (option (float 0.0)))
+        (Printf.sprintf "empty q=%g" q)
+        None (Histogram.quantile h q))
+    [ 0.0; 0.5; 1.0 ];
+  Alcotest.check_raises "q out of range" (Invalid_argument "Histogram.quantile: q must be in [0, 1]")
+    (fun () -> ignore (Histogram.quantile h 1.5))
+
+let test_histogram_quantile_single () =
+  (* A single sample must give a finite value near it for every q. *)
+  let h = Histogram.of_samples [| 7.0 |] in
+  List.iter
+    (fun q ->
+      let v = finite_opt (Printf.sprintf "single q=%g" q) (Histogram.quantile h q) in
+      Alcotest.(check bool)
+        (Printf.sprintf "single q=%g near sample" q)
+        true
+        (v >= 6.9 && v <= 7.2))
+    [ 0.0; 0.25; 0.5; 1.0 ]
+
+let test_histogram_quantile_uniform () =
+  (* 0..99 in 10 bins: quantiles should land within one bin width. *)
+  let h = Histogram.of_samples ~bins:10 (Array.init 100 float_of_int) in
+  let q50 = finite_opt "q50" (Histogram.quantile h 0.5) in
+  let q90 = finite_opt "q90" (Histogram.quantile h 0.9) in
+  Alcotest.(check bool) "median near 50" true (Float.abs (q50 -. 50.0) <= 10.0);
+  Alcotest.(check bool) "p90 near 90" true (Float.abs (q90 -. 90.0) <= 10.0);
+  Alcotest.(check bool) "monotone" true (q50 <= q90)
+
+let test_histogram_quantile_outlier_mass () =
+  (* All mass outside the bins: underflow pins to lo, overflow to hi. *)
+  let h = Histogram.create ~lo:10.0 ~hi:20.0 ~bins:4 in
+  List.iter (Histogram.add h) [ 0.0; 1.0; 2.0; 100.0 ];
+  let q0 = finite_opt "q0" (Histogram.quantile h 0.0) in
+  let q1 = finite_opt "q1" (Histogram.quantile h 1.0) in
+  Alcotest.(check (float 1e-9)) "underflow pinned at lo" 10.0 q0;
+  Alcotest.(check (float 1e-9)) "overflow pinned at hi" 20.0 q1
+
+let test_histogram_merge () =
+  let a = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  let b = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (Histogram.add a) [ 0.5; 4.5; -1.0 ];
+  List.iter (Histogram.add b) [ 0.7; 9.5; 11.0 ];
+  let m = Histogram.merge a b in
+  Alcotest.(check int) "total" 6 (Histogram.count m);
+  Alcotest.(check int) "bin 0 summed" 2 (Histogram.bin_count m 0);
+  Alcotest.(check int) "underflow" 1 (Histogram.underflow m);
+  Alcotest.(check int) "overflow" 1 (Histogram.overflow m);
+  (* Inputs untouched. *)
+  Alcotest.(check int) "a untouched" 3 (Histogram.count a);
+  (* Merging empties is safe and stays empty. *)
+  let e =
+    Histogram.merge
+      (Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5)
+      (Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5)
+  in
+  Alcotest.(check int) "empty merge" 0 (Histogram.count e);
+  Alcotest.(check (option (float 0.0))) "empty merge quantile" None
+    (Histogram.quantile e 0.5);
+  Alcotest.check_raises "binning mismatch"
+    (Invalid_argument "Histogram.merge: histograms have different binning")
+    (fun () -> ignore (Histogram.merge a (Histogram.create ~lo:0.0 ~hi:5.0 ~bins:5)))
+
 module Geometric_sum = Doda_stats.Geometric_sum
 
 let test_geom_sum_single_phase () =
@@ -217,6 +290,13 @@ let () =
           Alcotest.test_case "counts" `Quick test_histogram_counts;
           Alcotest.test_case "of samples" `Quick test_histogram_of_samples;
           Alcotest.test_case "render" `Quick test_histogram_render;
+          Alcotest.test_case "quantile empty" `Quick test_histogram_quantile_empty;
+          Alcotest.test_case "quantile single sample" `Quick
+            test_histogram_quantile_single;
+          Alcotest.test_case "quantile uniform" `Quick test_histogram_quantile_uniform;
+          Alcotest.test_case "quantile outlier mass" `Quick
+            test_histogram_quantile_outlier_mass;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
         ] );
       ( "geometric-sum",
         [
