@@ -29,6 +29,7 @@ module Temporal = Doda_dynamic.Temporal
 module Static_graph = Doda_graph.Static_graph
 module Graph_gen = Doda_graph.Graph_gen
 module Engine = Doda_core.Engine
+module Batch_engine = Doda_core.Batch_engine
 module Run_log = Doda_core.Run_log
 module Convergecast = Doda_core.Convergecast
 module Cost = Doda_core.Cost
@@ -132,27 +133,27 @@ let durations results =
 
 (* One schedule per trace, every algorithm against it: replications run
    on the pool, each worker building a single schedule from its rng and
-   sweeping the whole algorithm list over it (schedule construction and
-   the sink-meeting index amortise across algorithms; the engine sees
-   the same interactions an algorithm-major sweep would, because a
-   schedule's content is a function of the seed alone). Returns, per
-   algorithm, the successful durations as floats. *)
+   sweeping the whole algorithm list over it in one lockstep pass
+   ([Batch_engine.sweep]: one schedule decode per step shared by every
+   live lane, one lazy stepper oracle shared by the meet-time
+   policies). The durations are bit-identical to consecutive
+   [Engine.run]s per algorithm — the batch differential tests enforce
+   it — because a schedule's content is a function of the seed alone.
+   Returns, per algorithm, the successful durations as floats. *)
 let shared_sweep ?(record = `Count) ?max_steps ?(reps = replications)
     ?(seed = master_seed) schedule_of algos =
   let rows =
     replicate ~replications:reps ~seed (fun rng ->
         let sched = schedule_of rng in
-        List.map
-          (fun algo ->
-            (Engine.run ~record ?max_steps algo sched).Engine.duration)
-          algos)
+        Array.map
+          (fun (r : Engine.result) -> r.Engine.duration)
+          (Batch_engine.sweep ~record ?max_steps algos sched))
   in
   List.mapi
     (fun idx _ ->
       Array.of_list
         (List.filter_map
-           (fun row ->
-             Option.map (fun d -> float_of_int (d + 1)) (List.nth row idx))
+           (fun row -> Option.map (fun d -> float_of_int (d + 1)) row.(idx))
            (Array.to_list rows)))
     algos
 
@@ -1322,6 +1323,88 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* BATCH — bit-parallel lockstep replications vs the scalar engine.    *)
+
+(* Speedups measured by the batch experiment, archived at the top
+   level of BENCH_results.json (schema 3) so the trajectory of the
+   lockstep engine is machine-readable across PRs. *)
+let batch_speedups : (string * float) list ref = ref []
+
+let batch () =
+  header "BATCH | bit-parallel lockstep replications vs scalar engine"
+    "One frozen uniform schedule (n = 64); R replications of the same\n\
+     algorithm, scalar = R independent Engine.run, batch = one\n\
+     Batch_engine.run_reps lockstep pass (63 replications per word).\n\
+     steps/decode is the decode amortisation observed by the batch;\n\
+     reps/s is batch replication throughput.";
+  let open Bechamel in
+  let n = 64 in
+  let rng = Prng.create master_seed in
+  let sched =
+    Schedule.freeze
+      (Schedule.of_sequence ~n ~sink:0
+         (Generators.uniform_sequence rng ~n ~length:(40 * n * n)))
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let measure f =
+    let test = Test.make ~name:"b" (Staged.stage f) in
+    let results = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+    let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+    let out = ref Float.nan in
+    Hashtbl.iter
+      (fun _ est ->
+        match Analyze.OLS.estimates est with
+        | Some [ t ] -> out := t
+        | _ -> ())
+      analyzed;
+    !out
+  in
+  let t =
+    Table.create
+      ~header:
+        [ "algorithm"; "R"; "scalar ns/rep"; "batch ns/rep"; "speedup";
+          "steps/decode"; "reps/s" ]
+  in
+  batch_speedups := [];
+  List.iter
+    (fun (label, algo) ->
+      List.iter
+        (fun r ->
+          let scalar_ns =
+            measure (fun () ->
+                for _ = 1 to r do
+                  ignore (Engine.run ~record:`Count algo sched)
+                done)
+            /. float_of_int r
+          in
+          let batch_ns =
+            measure (fun () ->
+                ignore (Batch_engine.run_reps ~record:`Count algo sched r))
+            /. float_of_int r
+          in
+          let stats = Batch_engine.stats () in
+          ignore (Batch_engine.run_reps ~record:`Count ~stats algo sched r);
+          let amortisation =
+            float_of_int stats.lane_steps /. float_of_int stats.decodes
+          in
+          let speedup = scalar_ns /. batch_ns in
+          batch_speedups :=
+            (Printf.sprintf "%s-r%d" label r, speedup) :: !batch_speedups;
+          Table.add_row t
+            [
+              label; string_of_int r; fmt scalar_ns; fmt batch_ns;
+              ratio speedup; fmt amortisation; fmt (1e9 /. batch_ns);
+            ])
+        [ 1; 16; 64; 256 ])
+    [ ("waiting", Algorithms.waiting); ("gathering", Algorithms.gathering) ];
+  batch_speedups := List.rev !batch_speedups;
+  (* Timing columns cannot serve as byte-identical CSV baselines. *)
+  print_table ~csv:false ~name:"batch" t
+
+(* ------------------------------------------------------------------ *)
 
 let all_experiments =
   [
@@ -1332,6 +1415,7 @@ let all_experiments =
     ("exact", exact);
     ("variants", variants); ("spite", spite); ("mixed", mixed); ("price", price);
     ("policies", policies); ("gen", gen); ("micro", micro);
+    ("batch", batch);
   ]
 
 (* Machine-readable archive: per-experiment wall clock plus every table
@@ -1382,10 +1466,15 @@ let write_json path results =
   Json.write path
     (Json.Obj
        [
-         ("schema", Json.Int 2);
+         ("schema", Json.Int 3);
          ("jobs", Json.Int !jobs);
          ("seed", Json.Int master_seed);
          ("replications", Json.Int replications);
+         (* Schema 3: batch-vs-scalar speedups from the BATCH
+            experiment ([{}] when it did not run). *)
+         ( "batch_speedup",
+           Json.Obj
+             (List.map (fun (k, s) -> (k, Json.Float s)) !batch_speedups) );
          ("spans", Json.List spans);
          ("experiments", Json.List experiments);
        ]);

@@ -1,0 +1,566 @@
+module Schedule = Doda_dynamic.Schedule
+module Sequence = Doda_dynamic.Sequence
+module Interaction = Doda_dynamic.Interaction
+module Prng = Doda_prng.Prng
+
+(* Native ints carry 63 usable bits (the 64th is the tag); Int64 planes
+   would box on every load without flambda, so one word packs 63
+   replications and the sign bit is just bit 62 of the plane. *)
+let word_bits = 63
+
+type stats = { mutable decodes : int; mutable lane_steps : int }
+
+let fresh_stats () = { decodes = 0; lane_steps = 0 }
+let stats = fresh_stats
+let batch_supported (algo : Algorithm.t) = algo.batch <> None
+
+(* Index of the single set bit of [b] (which may be the sign bit):
+   branchy binary reduction — portable, no popcount intrinsic. *)
+let ntz b =
+  let n = ref 0 and b = ref b in
+  if !b land 0xFFFFFFFF = 0 then (n := !n + 32; b := !b lsr 32);
+  if !b land 0xFFFF = 0 then (n := !n + 16; b := !b lsr 16);
+  if !b land 0xFF = 0 then (n := !n + 8; b := !b lsr 8);
+  if !b land 0xF = 0 then (n := !n + 4; b := !b lsr 4);
+  if !b land 0x3 = 0 then (n := !n + 2; b := !b lsr 2);
+  if !b land 0x1 = 0 then incr n;
+  !n
+
+(* [k] low bits set; [-1] is all 63 ones. *)
+let mask_of k = if k >= word_bits then -1 else (1 lsl k) - 1
+
+(* Same limit rule as [Engine.run]. *)
+let limit_for ?max_steps schedule ~what =
+  match (max_steps, Schedule.length schedule) with
+  | Some m, Some len -> Stdlib.min m len
+  | Some m, None -> m
+  | None, Some len -> len
+  | None, None ->
+      invalid_arg (what ^ ": max_steps is mandatory for unbounded schedules")
+
+(* Same stop-reason rule as [Engine.run]: the clock is compared against
+   the schedule length, not the effective limit, so [max_steps = len]
+   still reports exhaustion. *)
+let stop_for schedule ~final_clock ~aggregated =
+  if aggregated then Engine.All_aggregated
+  else
+    match Schedule.length schedule with
+    | Some len when final_clock >= len -> Engine.Schedule_exhausted
+    | Some _ | None -> Engine.Step_limit
+
+(* ------------------------------------------------------------------ *)
+(* Bit-parallel replications. *)
+
+let run_reps ?max_steps ?(record = `All) ?rngs ?(stats = fresh_stats ())
+    (algo : Algorithm.t) schedule r =
+  if r < 0 then invalid_arg "Batch_engine.run_reps: negative replication count";
+  let rule =
+    match algo.batch with
+    | Some rule -> rule
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Batch_engine.run_reps: %s has no batch rule"
+             algo.name)
+  in
+  let rngs =
+    match rule with
+    | Algorithm.Coin_sink _ | Algorithm.Coin_gather _ -> (
+        match rngs with
+        | Some a when Array.length a >= r -> a
+        | Some _ ->
+            invalid_arg
+              "Batch_engine.run_reps: fewer rngs than replications"
+        | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Batch_engine.run_reps: %s needs one rng per replication"
+                 algo.name))
+    | Algorithm.Token_sink | Algorithm.Gather _ | Algorithm.Meet_policy _ ->
+        [||]
+  in
+  let limit = limit_for ?max_steps schedule ~what:"Batch_engine.run_reps" in
+  let n = Schedule.n schedule and sink = Schedule.sink schedule in
+  let w = (r + word_bits - 1) / word_bits in
+  (* Plane word [v * w + word]: bit [b] set iff node [v] still holds
+     data in replication [word * word_bits + b]. *)
+  let planes = Array.make (n * w) 0 in
+  let live = Array.make w 0 in
+  for word = 0 to w - 1 do
+    let k = Stdlib.min word_bits (r - (word * word_bits)) in
+    let full = mask_of k in
+    if n > 1 then live.(word) <- full;
+    for v = 0 to n - 1 do
+      planes.((v * w) + word) <- full
+    done
+  done;
+  let alive = ref (if n > 1 then r else 0) in
+  let owners = Array.make r n in
+  let tx = Array.make r 0 in
+  let last_time = Array.make r (-1) in
+  let record_all = record = `All in
+  let logs =
+    if record_all then Array.init r (fun _ -> Run_log.create ~capacity:n ())
+    else [||]
+  in
+  let backing = Schedule.backing schedule in
+  let needs_stepper =
+    backing = None
+    || (match rule with Algorithm.Meet_policy _ -> true | _ -> false)
+  in
+  let stp = if needs_stepper then Some (Schedule.stepper schedule) else None in
+  let decode =
+    match backing with
+    | Some seq -> fun t -> Sequence.unsafe_get seq t
+    | None ->
+        let stp = Option.get stp in
+        fun t -> Schedule.stepper_get stp t
+  in
+  (* Commit sender [s] -> receiver [rcv] at time [t] for every
+     replication in [m] of plane word [word]: one word-parallel holder
+     clear, then per-bit bookkeeping (bounded by the transmit-once
+     model: at most [r * (n - 1)] commits over the whole batch). *)
+  let commit_word ~t word m ~s ~rcv =
+    planes.((s * w) + word) <- planes.((s * w) + word) land lnot m;
+    let rem = ref m in
+    while !rem <> 0 do
+      let bit = !rem land (- !rem) in
+      rem := !rem lxor bit;
+      let rep = (word * word_bits) + ntz bit in
+      owners.(rep) <- owners.(rep) - 1;
+      tx.(rep) <- tx.(rep) + 1;
+      last_time.(rep) <- t;
+      if record_all then Run_log.add logs.(rep) ~time:t ~sender:s ~receiver:rcv;
+      if owners.(rep) = 1 then begin
+        live.(word) <- live.(word) land lnot bit;
+        decr alive
+      end
+    done
+  in
+  let t = ref 0 in
+  (match rule with
+  | Algorithm.Token_sink ->
+      while !alive > 0 && !t < limit do
+        let i = decode !t in
+        stats.decodes <- stats.decodes + 1;
+        stats.lane_steps <- stats.lane_steps + !alive;
+        let u = Interaction.u i and v = Interaction.v i in
+        if u = sink || v = sink then begin
+          let s = if u = sink then v else u in
+          let bu = u * w and bv = v * w in
+          for word = 0 to w - 1 do
+            let m = planes.(bu + word) land planes.(bv + word) land live.(word) in
+            if m <> 0 then commit_word ~t:!t word m ~s ~rcv:sink
+          done
+        end;
+        incr t
+      done
+  | Algorithm.Coin_sink p ->
+      while !alive > 0 && !t < limit do
+        let i = decode !t in
+        stats.decodes <- stats.decodes + 1;
+        stats.lane_steps <- stats.lane_steps + !alive;
+        let u = Interaction.u i and v = Interaction.v i in
+        if u = sink || v = sink then begin
+          (* The scalar decide short-circuits: the coin is drawn only
+             on sink-involving interactions where both endpoints still
+             hold, so draw exactly there and nowhere else. *)
+          let s = if u = sink then v else u in
+          let bu = u * w and bv = v * w in
+          for word = 0 to w - 1 do
+            let m = planes.(bu + word) land planes.(bv + word) land live.(word) in
+            let rem = ref m in
+            while !rem <> 0 do
+              let bit = !rem land (- !rem) in
+              rem := !rem lxor bit;
+              let rep = (word * word_bits) + ntz bit in
+              if Prng.bernoulli rngs.(rep) p then
+                commit_word ~t:!t word bit ~s ~rcv:sink
+            done
+          done
+        end;
+        incr t
+      done
+  | Algorithm.Coin_gather p ->
+      while !alive > 0 && !t < limit do
+        let i = decode !t in
+        stats.decodes <- stats.decodes + 1;
+        stats.lane_steps <- stats.lane_steps + !alive;
+        let u = Interaction.u i and v = Interaction.v i in
+        let bu = u * w and bv = v * w in
+        if u = sink || v = sink then begin
+          (* Sink meetings transmit unconditionally — no draw. *)
+          let s = if u = sink then v else u in
+          for word = 0 to w - 1 do
+            let m = planes.(bu + word) land planes.(bv + word) land live.(word) in
+            if m <> 0 then commit_word ~t:!t word m ~s ~rcv:sink
+          done
+        end
+        else
+          for word = 0 to w - 1 do
+            let m = planes.(bu + word) land planes.(bv + word) land live.(word) in
+            let rem = ref m in
+            while !rem <> 0 do
+              let bit = !rem land (- !rem) in
+              rem := !rem lxor bit;
+              let rep = (word * word_bits) + ntz bit in
+              if Prng.bernoulli rngs.(rep) p then
+                commit_word ~t:!t word bit ~s:v ~rcv:u
+            done
+          done;
+        incr t
+      done
+  | Algorithm.Gather tb ->
+      let payloads =
+        match tb with
+        | Algorithm.To_heavier -> Array.make (r * n) 1
+        | _ -> [||]
+      in
+      while !alive > 0 && !t < limit do
+        let i = decode !t in
+        stats.decodes <- stats.decodes + 1;
+        stats.lane_steps <- stats.lane_steps + !alive;
+        let u = Interaction.u i and v = Interaction.v i in
+        let bu = u * w and bv = v * w in
+        (match tb with
+        | Algorithm.To_heavier ->
+            (* Receiver depends on per-replication payloads, so the
+               whole commit is per-bit. *)
+            for word = 0 to w - 1 do
+              let m =
+                planes.(bu + word) land planes.(bv + word) land live.(word)
+              in
+              let rem = ref m in
+              while !rem <> 0 do
+                let bit = !rem land (- !rem) in
+                rem := !rem lxor bit;
+                let rep = (word * word_bits) + ntz bit in
+                let base = rep * n in
+                let rcv =
+                  if u = sink || v = sink then sink
+                  else if payloads.(base + u) > payloads.(base + v) then u
+                  else if payloads.(base + v) > payloads.(base + u) then v
+                  else u
+                in
+                let s = if rcv = u then v else u in
+                payloads.(base + rcv) <-
+                  payloads.(base + rcv) + payloads.(base + s);
+                payloads.(base + s) <- 0;
+                commit_word ~t:!t word bit ~s ~rcv
+              done
+            done
+        | Algorithm.To_smaller | Algorithm.To_larger | Algorithm.To_hash ->
+            (* Receiver is a pure function of (t, u, v): shared across
+               the batch, committed word-parallel. *)
+            let rcv =
+              if u = sink || v = sink then sink
+              else
+                match tb with
+                | Algorithm.To_smaller -> u
+                | Algorithm.To_larger -> v
+                | Algorithm.To_hash | Algorithm.To_heavier ->
+                    if Algorithm.hash_coin ~time:!t u v then u else v
+            in
+            let s = if rcv = u then v else u in
+            for word = 0 to w - 1 do
+              let m =
+                planes.(bu + word) land planes.(bv + word) land live.(word)
+              in
+              if m <> 0 then commit_word ~t:!t word m ~s ~rcv
+            done);
+        incr t
+      done
+  | Algorithm.Meet_policy { limit_of; fire } ->
+      let stp = Option.get stp in
+      while !alive > 0 && !t < limit do
+        let i = decode !t in
+        stats.decodes <- stats.decodes + 1;
+        stats.lane_steps <- stats.lane_steps + !alive;
+        let u = Interaction.u i and v = Interaction.v i in
+        let bu = u * w and bv = v * w in
+        let any = ref false in
+        for word = 0 to w - 1 do
+          if planes.(bu + word) land planes.(bv + word) land live.(word) <> 0
+          then any := true
+        done;
+        (* The decision is a pure function of (t, u, v, oracle) — the
+           same for every replication — so compute it once, and only
+           when some replication can transmit (the oracle probe is the
+           expensive part). *)
+        if !any then begin
+          let time = !t in
+          let lim = limit_of ~time in
+          let meet node =
+            if node = sink then Some time
+            else Schedule.stepper_next_meet stp ~node ~after:time ~limit:lim
+          in
+          let rcv =
+            match (meet u, meet v) with
+            | Some m1, Some m2 ->
+                if m1 <= m2 then
+                  if fire ~time (Some m2) then Some u else None
+                else if fire ~time (Some m1) then Some v
+                else None
+            | Some _, None -> if fire ~time None then Some u else None
+            | None, Some _ -> if fire ~time None then Some v else None
+            | None, None ->
+                if fire ~time None then
+                  if Algorithm.hash_coin ~time u v then Some u else Some v
+                else None
+          in
+          match rcv with
+          | None -> ()
+          | Some rcv ->
+              let s = if rcv = u then v else u in
+              for word = 0 to w - 1 do
+                let m =
+                  planes.(bu + word) land planes.(bv + word) land live.(word)
+                in
+                if m <> 0 then commit_word ~t:!t word m ~s ~rcv
+              done
+        end;
+        incr t
+      done);
+  let final_clock = !t in
+  Array.init r (fun rep ->
+      let aggregated = owners.(rep) = 1 in
+      let word = rep / word_bits and bit = 1 lsl (rep mod word_bits) in
+      {
+        Engine.stop = stop_for schedule ~final_clock ~aggregated;
+        duration = (if aggregated then Some last_time.(rep) else None);
+        steps = (if aggregated then last_time.(rep) + 1 else final_clock);
+        log = (if record_all then logs.(rep) else Run_log.create ());
+        transmission_count = tx.(rep);
+        holders =
+          Array.init n (fun v -> planes.((v * w) + word) land bit <> 0);
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Lockstep algorithm sweep: one lane per rival, packed into one word. *)
+
+type lane =
+  | Token
+  | Gather_to of Algorithm.gather_tiebreak * int array
+      (* payload plane, size n for To_heavier, empty otherwise *)
+  | Meet of (time:int -> int) * (time:int -> int option -> bool)
+  | Generic of Algorithm.instance
+
+let sweep_chunk ?max_steps ~record ~stats algos schedule =
+  let limit = limit_for ?max_steps schedule ~what:"Batch_engine.sweep" in
+  let n = Schedule.n schedule and sink = Schedule.sink schedule in
+  let lanes = Array.of_list algos in
+  let l = Array.length lanes in
+  let names = Array.map (fun (a : Algorithm.t) -> a.Algorithm.name) lanes in
+  (* Instances are created up front in list order: consecutive scalar
+     [Engine.run]s would create them in the same order, so coin
+     algorithms split their captured master streams identically. *)
+  let kinds =
+    Array.map
+      (fun (algo : Algorithm.t) ->
+        match algo.batch with
+        | Some Algorithm.Token_sink -> Token
+        | Some (Algorithm.Gather tb) ->
+            Gather_to
+              ( tb,
+                match tb with
+                | Algorithm.To_heavier -> Array.make n 1
+                | _ -> [||] )
+        | Some (Algorithm.Meet_policy { limit_of; fire }) ->
+            Meet (limit_of, fire)
+        | Some (Algorithm.Coin_sink _) | Some (Algorithm.Coin_gather _) | None
+          ->
+            let knowledge = Knowledge.for_schedule schedule algo.requires in
+            Algorithm.check_knowledge algo.name knowledge algo.requires;
+            Generic (algo.make ~n ~sink knowledge))
+      lanes
+  in
+  let meet_mask = ref 0 in
+  let generics = ref [] in
+  Array.iteri
+    (fun lane kind ->
+      match kind with
+      | Meet _ -> meet_mask := !meet_mask lor (1 lsl lane)
+      | Generic inst -> generics := (lane, inst) :: !generics
+      | Token | Gather_to _ -> ())
+    kinds;
+  let meet_mask = !meet_mask in
+  let generics = Array.of_list (List.rev !generics) in
+  let full = mask_of l in
+  (* planes.(v) bit [lane]: node [v] still holds data in that lane. *)
+  let planes = Array.make n full in
+  let live = ref (if n > 1 then full else 0) in
+  let alive = ref (if n > 1 then l else 0) in
+  let owners = Array.make l n in
+  let tx = Array.make l 0 in
+  let last_time = Array.make l (-1) in
+  let record_all = record = `All in
+  let logs =
+    if record_all then Array.init l (fun _ -> Run_log.create ~capacity:n ())
+    else [||]
+  in
+  let lims = Array.make l 0 in
+  let backing = Schedule.backing schedule in
+  let stp =
+    if backing = None || meet_mask <> 0 then Some (Schedule.stepper schedule)
+    else None
+  in
+  let decode =
+    match backing with
+    | Some seq -> fun t -> Sequence.unsafe_get seq t
+    | None ->
+        let stp = Option.get stp in
+        fun t -> Schedule.stepper_get stp t
+  in
+  let t = ref 0 in
+  while !alive > 0 && !t < limit do
+    let time = !t in
+    let i = decode time in
+    stats.decodes <- stats.decodes + 1;
+    stats.lane_steps <- stats.lane_steps + !alive;
+    let u = Interaction.u i and v = Interaction.v i in
+    (* Scalar engines call [observe] on every step while their run is
+       live, transmission or not. *)
+    for k = 0 to Array.length generics - 1 do
+      let lane, inst = generics.(k) in
+      if !live land (1 lsl lane) <> 0 then inst.Algorithm.observe ~time i
+    done;
+    let m = planes.(u) land planes.(v) land !live in
+    if m <> 0 then begin
+      (* Shared meet probes: one stepper query per endpoint under the
+         maximum live lane limit; per-lane answers filter by their own
+         limit, which is equivalent because every lane wants the same
+         first meet after [time]. *)
+      let mm = m land meet_mask in
+      let mu = ref None and mv = ref None in
+      if mm <> 0 then begin
+        let cap = ref min_int in
+        let rem = ref mm in
+        while !rem <> 0 do
+          let bit = !rem land (- !rem) in
+          rem := !rem lxor bit;
+          let lane = ntz bit in
+          let lim =
+            match kinds.(lane) with
+            | Meet (limit_of, _) -> limit_of ~time
+            | _ -> assert false
+          in
+          lims.(lane) <- lim;
+          if lim > !cap then cap := lim
+        done;
+        let stp = Option.get stp in
+        if u <> sink then
+          mu := Schedule.stepper_next_meet stp ~node:u ~after:time ~limit:!cap;
+        if v <> sink then
+          mv := Schedule.stepper_next_meet stp ~node:v ~after:time ~limit:!cap
+      end;
+      let rem = ref m in
+      while !rem <> 0 do
+        let bit = !rem land (- !rem) in
+        rem := !rem lxor bit;
+        let lane = ntz bit in
+        let rcv =
+          match kinds.(lane) with
+          | Token -> if u = sink || v = sink then Some sink else None
+          | Gather_to (tb, payload) ->
+              let rcv =
+                if u = sink || v = sink then sink
+                else
+                  match tb with
+                  | Algorithm.To_smaller -> u
+                  | Algorithm.To_larger -> v
+                  | Algorithm.To_hash ->
+                      if Algorithm.hash_coin ~time u v then u else v
+                  | Algorithm.To_heavier ->
+                      if payload.(u) > payload.(v) then u
+                      else if payload.(v) > payload.(u) then v
+                      else u
+              in
+              (match tb with
+              | Algorithm.To_heavier ->
+                  (* Mirrors the scalar decide's payload bookkeeping. *)
+                  let s = if rcv = u then v else u in
+                  payload.(rcv) <- payload.(rcv) + payload.(s);
+                  payload.(s) <- 0
+              | _ -> ());
+              Some rcv
+          | Meet (_, fire) ->
+              let lim = lims.(lane) in
+              let capped node cached =
+                if node = sink then Some time
+                else
+                  match cached with
+                  | Some x when x <= lim -> Some x
+                  | _ -> None
+              in
+              (match (capped u !mu, capped v !mv) with
+              | Some m1, Some m2 ->
+                  if m1 <= m2 then
+                    if fire ~time (Some m2) then Some u else None
+                  else if fire ~time (Some m1) then Some v
+                  else None
+              | Some _, None -> if fire ~time None then Some u else None
+              | None, Some _ -> if fire ~time None then Some v else None
+              | None, None ->
+                  if fire ~time None then
+                    if Algorithm.hash_coin ~time u v then Some u else Some v
+                  else None)
+          | Generic inst -> inst.Algorithm.decide ~time i
+        in
+        match rcv with
+        | None -> ()
+        | Some rcv ->
+            (* Same model enforcement as [Engine.commit]; batch-rule
+               lanes satisfy it by construction, generic lanes can
+               misbehave exactly like under the scalar engine. *)
+            if not (Interaction.involves i rcv) then
+              invalid_arg
+                (Printf.sprintf
+                   "Batch_engine.sweep: %s returned a non-endpoint receiver"
+                   names.(lane));
+            let s = Interaction.other i rcv in
+            if s = sink then
+              invalid_arg
+                (Printf.sprintf "Batch_engine.sweep: %s made the sink transmit"
+                   names.(lane));
+            planes.(s) <- planes.(s) land lnot bit;
+            owners.(lane) <- owners.(lane) - 1;
+            tx.(lane) <- tx.(lane) + 1;
+            last_time.(lane) <- time;
+            if record_all then
+              Run_log.add logs.(lane) ~time ~sender:s ~receiver:rcv;
+            if owners.(lane) = 1 then begin
+              live := !live land lnot bit;
+              decr alive
+            end
+      done
+    end;
+    incr t
+  done;
+  let final_clock = !t in
+  Array.init l (fun lane ->
+      let aggregated = owners.(lane) = 1 in
+      let bit = 1 lsl lane in
+      {
+        Engine.stop = stop_for schedule ~final_clock ~aggregated;
+        duration = (if aggregated then Some last_time.(lane) else None);
+        steps = (if aggregated then last_time.(lane) + 1 else final_clock);
+        log = (if record_all then logs.(lane) else Run_log.create ());
+        transmission_count = tx.(lane);
+        holders = Array.init n (fun node -> planes.(node) land bit <> 0);
+      })
+
+let rec split_at k = function
+  | [] -> ([], [])
+  | l when k = 0 -> ([], l)
+  | x :: tl ->
+      let a, b = split_at (k - 1) tl in
+      (x :: a, b)
+
+let rec sweep ?max_steps ?(record = `All) ?(stats = fresh_stats ()) algos
+    schedule =
+  if List.length algos <= word_bits then
+    sweep_chunk ?max_steps ~record ~stats algos schedule
+  else
+    let chunk, rest = split_at word_bits algos in
+    Array.append
+      (sweep_chunk ?max_steps ~record ~stats chunk schedule)
+      (sweep ?max_steps ~record ~stats rest schedule)

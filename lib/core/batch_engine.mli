@@ -1,0 +1,129 @@
+(** Lockstep batch engine: many executions over one schedule decode.
+
+    The scalar {!Engine} decodes the schedule once per run; replication
+    sweeps therefore decode the same interactions once per replication
+    and once per rival algorithm. This module amortises the decode: it
+    plays {e one} pass over the schedule and advances many executions
+    in lockstep, in two shapes.
+
+    {b Bit-parallel replications} ({!run_reps}): [R] replications of
+    one algorithm over one schedule. Per-node holder sets are stored as
+    bit planes — {!word_bits} replications per native word — so the
+    "do both endpoints still hold data?" test for a whole word of
+    replications is two loads and an [land]. Per-replication work
+    happens only on actual transmissions, which the transmit-once model
+    bounds by [R * (n - 1)] over the entire batch. Deterministic
+    algorithms make every replication identical (useful as a
+    throughput benchmark); coin algorithms differ through their
+    per-replication streams ([rngs]).
+
+    {b Lockstep algorithm sweep} ({!sweep}): one execution of each of
+    up to many rival algorithms over the same schedule, one decode per
+    step shared by every live lane. Meet-time policies share a single
+    {!Doda_dynamic.Schedule.stepper} oracle whose incremental search
+    materialises generator schedules only as far as the earliest
+    undecided meet — not to the probe limit like the eager oracle —
+    which is where the policies-suite speedup comes from.
+
+    Both entry points produce {!Engine.result}s that are {e
+    bit-identical} to running {!Engine.run} separately per replication
+    or per algorithm: same stop reasons, durations, step counts,
+    transmission logs, holder sets, and — for coin algorithms — the
+    same PRNG draw sequences (a differential test enforces this per
+    algorithm). *)
+
+val word_bits : int
+(** Replications packed per bit-plane word: 63, the width of OCaml's
+    native [int] (the issue's nominal 64 loses one bit to the tag;
+    [Int64] planes would box without flambda). *)
+
+(** {1 Occupancy statistics} *)
+
+type stats = {
+  mutable decodes : int;
+      (** Lockstep steps executed — schedule interactions decoded
+          once for the whole batch. *)
+  mutable lane_steps : int;
+      (** Sum over decodes of live lanes (replications or
+          algorithms): the scalar engine would have decoded this many
+          interactions. [lane_steps / decodes] is the amortisation
+          factor; dividing further by the batch width gives occupancy
+          — how much of the batch the live mask keeps busy. *)
+}
+
+val stats : unit -> stats
+(** A zeroed counter pair; pass the same record to several calls to
+    accumulate. *)
+
+(** {1 Entry points} *)
+
+val batch_supported : Algorithm.t -> bool
+(** Whether {!run_reps} can execute the algorithm bit-parallel, i.e.
+    [algo.batch <> None]. Algorithms without a batch rule still run on
+    {!sweep}'s generic lane. *)
+
+val run_reps :
+  ?max_steps:int ->
+  ?record:[ `All | `Count ] ->
+  ?rngs:Doda_prng.Prng.t array ->
+  ?stats:stats ->
+  Algorithm.t ->
+  Doda_dynamic.Schedule.t ->
+  int ->
+  Engine.result array
+(** [run_reps algo sched r] executes [r] replications of [algo] over
+    [sched] in bit-parallel lockstep and returns their results in
+    replication order. [max_steps] and [record] mean exactly what they
+    do in {!Engine.run} (and [max_steps] is mandatory for generator
+    schedules).
+
+    [rngs] supplies one independent stream per replication — required
+    for coin algorithms, ignored otherwise. Stream identity with the
+    scalar path: the scalar [Engine.run] calls [algo.make], which
+    splits the algorithm's captured master once per run, so passing
+    [Prng.split_n master r] here hands replication [i] exactly the
+    stream scalar replication [i] would have drawn. Draws happen in
+    the same per-replication order as scalar runs (streams are
+    independent across replications, so cross-replication interleaving
+    is immaterial).
+
+    @raise Invalid_argument if [algo.batch = None] (see
+    {!batch_supported}), if [rngs] is missing or shorter than [r] for
+    a coin algorithm, on a negative [r], or if [max_steps] is missing
+    for an unbounded schedule. *)
+
+val sweep :
+  ?max_steps:int ->
+  ?record:[ `All | `Count ] ->
+  ?stats:stats ->
+  Algorithm.t list ->
+  Doda_dynamic.Schedule.t ->
+  Engine.result array
+(** [sweep algos sched] executes every algorithm in [algos] over
+    [sched] in one lockstep pass and returns results in list order —
+    element [k] equals [Engine.run ?max_steps ?record (List.nth algos
+    k) sched].
+
+    Algorithms with a token or gather batch rule run on dedicated bit
+    lanes; meet-time policies share one lazy stepper oracle (one probe
+    per interaction endpoint per step, under the maximum live lane
+    limit — answers are per-lane filtered, which is equivalent because
+    every lane asks for the {e first} meet after the current time).
+    Algorithms without a rule — and coin algorithms, whose instance
+    creation must split their master stream exactly where the scalar
+    path would — run on a generic lane that drives their
+    [Algorithm.instance] with scalar-engine semantics, including
+    knowledge construction and misbehaviour checks. Instances are
+    created in list order before the pass begins, which matches the
+    split order of consecutive scalar runs.
+
+    More than {!word_bits} algorithms are processed in chunks of
+    {!word_bits} (each chunk is its own lockstep pass).
+
+    Safety: a sweep over a live (unfrozen) schedule materialises it
+    and must stay confined to one domain, like any live-schedule user;
+    sweeps over a frozen schedule only mutate private cursors.
+
+    @raise Invalid_argument as {!Engine.run} would: missing knowledge
+    for a generic lane, missing [max_steps] on an unbounded schedule,
+    or a misbehaving generic algorithm. *)

@@ -11,6 +11,7 @@ let coin_waiting master ~p =
     Algorithm.name = Printf.sprintf "coin-waiting(p=%.2f)" p;
     oblivious = true;
     requires = [];
+    batch = Some (Algorithm.Coin_sink p);
     make =
       (fun ~n:_ ~sink _knowledge ->
         let rng = Prng.split master in
@@ -29,6 +30,7 @@ let coin_gathering master ~p =
     Algorithm.name = Printf.sprintf "coin-gathering(p=%.2f)" p;
     oblivious = true;
     requires = [];
+    batch = Some (Algorithm.Coin_gather p);
     make =
       (fun ~n:_ ~sink _knowledge ->
         let rng = Prng.split master in

@@ -69,7 +69,9 @@ let make_state ~algo_name ~instance ~sink ~record ~observers ~source ~n =
     finish_obs =
       Array.of_list (List.filter_map (fun o -> o.obs_finish) observers);
     has_step_obs = Array.length step_obs > 0;
-    log = Run_log.create ();
+    (* Transmit-once bounds a run's transmissions by [n - 1], so the
+       log never reallocates mid-run. *)
+    log = Run_log.create ~capacity:n ();
     owner_count = n;
     clock = 0;
     tx_count = 0;

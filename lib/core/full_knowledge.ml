@@ -5,6 +5,7 @@ let make ?horizon () =
     Algorithm.name = "full-knowledge";
     oblivious = false;
     requires = [ Knowledge.Full_schedule ];
+    batch = None;
     make =
       (fun ~n ~sink:_ knowledge ->
         let sched = Option.get knowledge.Knowledge.full in

@@ -54,6 +54,7 @@ let algorithm =
     Algorithm.name = "future-gossip";
     oblivious = false;
     requires = [ Knowledge.Own_future ];
+    batch = None;
     make =
       (fun ~n ~sink knowledge ->
         let future_of = Option.get knowledge.Knowledge.future_of in

@@ -5,6 +5,7 @@ let algorithm =
     Algorithm.name = "gathering";
     oblivious = true;
     requires = [];
+    batch = Some (Algorithm.Gather Algorithm.To_smaller);
     make =
       (fun ~n:_ ~sink _knowledge ->
         {

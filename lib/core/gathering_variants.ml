@@ -8,16 +8,21 @@ let tiebreak_name = function
   | More_data -> "more-data"
   | Hash -> "hash"
 
-let hash_coin ~time a b =
-  let h = (time * 0x9E3779B1) lxor (a * 0x85EBCA77) lxor (b * 0xC2B2AE3D) in
-  let h = (h lxor (h lsr 13)) * 0x27D4EB2F land max_int in
-  h land 1 = 0
+let hash_coin = Algorithm.hash_coin
 
 let make tiebreak =
   {
     Algorithm.name = "gathering-" ^ tiebreak_name tiebreak;
     oblivious = (match tiebreak with More_data -> false | _ -> true);
     requires = [];
+    batch =
+      Some
+        (Algorithm.Gather
+           (match tiebreak with
+           | Smaller_id -> Algorithm.To_smaller
+           | Larger_id -> Algorithm.To_larger
+           | More_data -> Algorithm.To_heavier
+           | Hash -> Algorithm.To_hash));
     make =
       (fun ~n ~sink _knowledge ->
         let payload = Array.make n 1 in

@@ -1,17 +1,17 @@
 module Interaction = Doda_dynamic.Interaction
 
-let hash_coin ~time a b =
-  let h = (time * 0x9E3779B1) lxor (a * 0x85EBCA77) lxor (b * 0xC2B2AE3D) in
-  let h = (h lxor (h lsr 13)) * 0x27D4EB2F land max_int in
-  h land 1 = 0
+let hash_coin = Algorithm.hash_coin
 
 (* Shared shape: compare capped meet times, transmit from the later
-   endpoint when [fire] accepts its (possibly unknown) meet time. *)
+   endpoint when [fire] accepts its (possibly unknown) meet time. The
+   batch kernel is the same [limit_of]/[fire] pair interpreted by
+   [Batch_engine], decision-for-decision. *)
 let policy ~name ~limit_of ~fire =
   {
     Algorithm.name;
     oblivious = true;
     requires = [ Knowledge.Meet_time ];
+    batch = Some (Algorithm.Meet_policy { limit_of; fire });
     make =
       (fun ~n:_ ~sink knowledge ->
         let meet_time = Option.get knowledge.Knowledge.meet_time in

@@ -14,11 +14,11 @@ type t = {
   mutable parent_cache : int array;
 }
 
-let create () =
+let create ?capacity () =
   {
-    times = Int_vec.create ();
-    senders = Int_vec.create ();
-    receivers = Int_vec.create ();
+    times = Int_vec.create ?capacity ();
+    senders = Int_vec.create ?capacity ();
+    receivers = Int_vec.create ?capacity ();
     derived_n = -1;
     derived_len = -1;
     fire_cache = [||];

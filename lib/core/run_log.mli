@@ -19,8 +19,11 @@ type transmission = { time : int; sender : int; receiver : int }
 
 type t
 
-val create : unit -> t
-(** An empty log. *)
+val create : ?capacity:int -> unit -> t
+(** An empty log. [capacity] pre-sizes the three buffers so appends up
+    to it never reallocate; in the transmit-once model a run over [n]
+    nodes commits at most [n - 1] transmissions, so both engines pass
+    [~capacity:n] and recording never doubles mid-run. *)
 
 val add : t -> time:int -> sender:int -> receiver:int -> unit
 (** Append one transmission (chronological order is the caller's

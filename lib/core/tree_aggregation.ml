@@ -9,6 +9,7 @@ let make ?(tree = Bfs) () =
     Algorithm.name = "tree-aggregation" ^ tree_name;
     oblivious = false;
     requires = [ Knowledge.Underlying_graph ];
+    batch = None;
     make =
       (fun ~n:_ ~sink knowledge ->
         let graph = Option.get knowledge.Knowledge.underlying in

@@ -5,6 +5,7 @@ let algorithm =
     Algorithm.name = "waiting";
     oblivious = true;
     requires = [];
+    batch = Some Algorithm.Token_sink;
     make =
       (fun ~n:_ ~sink _knowledge ->
         {

@@ -1,13 +1,9 @@
 module Interaction = Doda_dynamic.Interaction
 module Schedule = Doda_dynamic.Schedule
 
-(* Deterministic fair-ish coin for the both-beyond-tau case; any fixed
-   function of (t, u1, u2) is admissible since the two unknown meet
-   times are exchangeable. *)
-let hash_coin ~time a b =
-  let h = (time * 0x9E3779B1) lxor (a * 0x85EBCA77) lxor (b * 0xC2B2AE3D) in
-  let h = (h lxor (h lsr 13)) * 0x27D4EB2F land max_int in
-  h land 1 = 0
+(* Deterministic fair-ish coin for the both-beyond-tau case (shared
+   with the other meet-time policies via [Algorithm.hash_coin]). *)
+let hash_coin = Algorithm.hash_coin
 
 let make ?(exact = false) ~tau () =
   if tau < 0 then invalid_arg "Waiting_greedy.make: negative tau";
@@ -18,6 +14,20 @@ let make ?(exact = false) ~tau () =
     requires =
       (if exact then [ Knowledge.Meet_time; Knowledge.Full_schedule ]
        else [ Knowledge.Meet_time ]);
+    batch =
+      (* The capped variant is the fire-above-tau meet policy; exact
+         mode reads the schedule length at instance creation, so it
+         stays on the generic lane. *)
+      (if exact then None
+       else
+         Some
+           (Algorithm.Meet_policy
+              {
+                limit_of = (fun ~time:_ -> tau);
+                fire =
+                  (fun ~time:_ sender_meet ->
+                    match sender_meet with None -> true | Some m -> tau < m);
+              }));
     make =
       (fun ~n:_ ~sink knowledge ->
         let meet_time = Option.get knowledge.Knowledge.meet_time in
@@ -61,20 +71,31 @@ let with_recommended_tau ?exact n = make ?exact ~tau:(Theory.recommended_tau n) 
 
 let doubling ?(tau0 = 16) () =
   if tau0 < 1 then invalid_arg "Waiting_greedy.doubling: tau0 must be positive";
+  let current_tau time =
+    let tau = ref tau0 in
+    while !tau <= time do
+      tau := 2 * !tau
+    done;
+    !tau
+  in
   {
     Algorithm.name = Printf.sprintf "waiting-greedy-doubling(tau0=%d)" tau0;
     oblivious = true;
     requires = [ Knowledge.Meet_time ];
+    batch =
+      Some
+        (Algorithm.Meet_policy
+           {
+             limit_of = (fun ~time -> current_tau time);
+             fire =
+               (fun ~time sender_meet ->
+                 match sender_meet with
+                 | None -> true
+                 | Some m -> current_tau time < m);
+           });
     make =
       (fun ~n:_ ~sink knowledge ->
         let meet_time = Option.get knowledge.Knowledge.meet_time in
-        let current_tau time =
-          let tau = ref tau0 in
-          while !tau <= time do
-            tau := 2 * !tau
-          done;
-          !tau
-        in
         {
           Algorithm.observe = Algorithm.no_observation;
           decide =

@@ -1,6 +1,8 @@
 type t = { mutable data : int array; mutable len : int }
 
-let create () = { data = Array.make 8 0; len = 0 }
+let create ?(capacity = 8) () =
+  if capacity < 0 then invalid_arg "Int_vec.create: negative capacity";
+  { data = Array.make (Stdlib.max 1 capacity) 0; len = 0 }
 
 let length v = v.len
 

@@ -5,8 +5,12 @@
 
 type t
 
-val create : unit -> t
-(** An empty vector. *)
+val create : ?capacity:int -> unit -> t
+(** An empty vector. [capacity] (default 8) pre-sizes the backing
+    array so pushes up to it never reallocate — pass a known upper
+    bound (e.g. the transmission-count bound [n] of a run log) to keep
+    hot append loops doubling-free. @raise Invalid_argument on a
+    negative capacity. *)
 
 val length : t -> int
 

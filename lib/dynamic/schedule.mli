@@ -81,6 +81,41 @@ val next_meet_with_sink : t -> node:int -> after:int -> limit:int -> int option
     defines meetTime as the identity, so [Some (after + 1)] is
     returned (clipped to [limit]). *)
 
+(** {1 Batch-friendly step iteration}
+
+    A stepper is a mutable read cursor over one schedule, built for
+    lockstep consumers (the batch engine) whose accesses are monotone
+    in time. It keeps one position per node into the sink-meeting
+    index, so repeated {!stepper_next_meet} probes cost O(1) amortised,
+    and on generator schedules the search materialises {e only until
+    the first meet past [after] is known} — not to [limit + 1] like
+    {!next_meet_with_sink} — while returning identical answers (meets
+    are indexed in increasing time order, so the first one found
+    incrementally is the first one the full index would report).
+
+    A stepper mutates the underlying live schedule (materialisation)
+    and its own cursors: like a live schedule it must stay confined to
+    one domain. Steppers over a {e frozen} schedule keep the schedule
+    immutable; only the stepper's private cursors move. *)
+
+type stepper
+
+val stepper : t -> stepper
+(** A fresh cursor at time 0. On a live finite schedule this builds
+    the complete sink-meeting index up front (one O(len) pass). *)
+
+val stepper_schedule : stepper -> t
+(** The schedule the stepper iterates. *)
+
+val stepper_get : stepper -> int -> Interaction.t
+(** [stepper_get st t] is [I_t], materialising generator schedules in
+    chunks. @raise Invalid_argument on a negative time or past the end
+    of a finite schedule. *)
+
+val stepper_next_meet : stepper -> node:int -> after:int -> limit:int -> int option
+(** Same contract and answers as {!next_meet_with_sink}, through the
+    stepper's cursors and lazy search. *)
+
 val meets_with_sink_upto : t -> int -> int array
 (** [meets_with_sink_upto s k] counts, per node, the interactions with
     the sink among [I_0 .. I_{k-1}] (index [sink] counts all of them).

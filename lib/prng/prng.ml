@@ -1,13 +1,38 @@
-type t = { gen : Xoshiro256ss.t; seeder : Splitmix64.t }
+type t = {
+  gen : Xoshiro256ss.t;
+  seeder : Splitmix64.t;
+  (* One-slot memo of the rejection limit for the last non-power-of-two
+     bound. Bulk consumers (schedule materialisation, batch
+     replication) draw millions of times at one bound, and the limit is
+     a pure function of the bound, so caching it removes one division
+     per draw without touching the draw stream. *)
+  mutable memo_bound : int;
+  mutable memo_limit : int;
+}
 
 let create64 seed =
-  { gen = Xoshiro256ss.create seed; seeder = Splitmix64.create (Int64.lognot seed) }
+  {
+    gen = Xoshiro256ss.create seed;
+    seeder = Splitmix64.create (Int64.lognot seed);
+    memo_bound = 0;
+    memo_limit = 0;
+  }
 
 let create seed = create64 (Int64.of_int seed)
 
 let split g = create64 (Splitmix64.split g.seeder)
 
-let copy g = { gen = Xoshiro256ss.copy g.gen; seeder = Splitmix64.copy g.seeder }
+let split_n g k =
+  if k < 0 then invalid_arg "Prng.split_n: negative count";
+  Array.init k (fun _ -> split g)
+
+let copy g =
+  {
+    gen = Xoshiro256ss.copy g.gen;
+    seeder = Splitmix64.copy g.seeder;
+    memo_bound = g.memo_bound;
+    memo_limit = g.memo_limit;
+  }
 
 let bits64 g = Xoshiro256ss.next g.gen
 
@@ -21,8 +46,16 @@ let int g bound =
   else begin
     (* Rejection sampling over the largest multiple of [bound] that
        fits in 62 bits, to avoid modulo bias. *)
-    let max_int62 = (1 lsl 62) - 1 in
-    let limit = max_int62 - (max_int62 mod bound) in
+    let limit =
+      if g.memo_bound = bound then g.memo_limit
+      else begin
+        let max_int62 = (1 lsl 62) - 1 in
+        let l = max_int62 - (max_int62 mod bound) in
+        g.memo_bound <- bound;
+        g.memo_limit <- l;
+        l
+      end
+    in
     let rec draw () =
       let r = bits g in
       if r < limit then r mod bound else draw ()

@@ -18,6 +18,14 @@ val split : t -> t
     Splitting repeatedly yields decorrelated streams; use one per
     replication of an experiment. *)
 
+val split_n : t -> int -> t array
+(** [split_n g k] is [k] independent child streams, split from [g] in
+    index order — entry [i] is what the [i+1]-th call to {!split}
+    would have returned. The batch replication path hands each
+    replication of a lockstep batch its slice of this array, so batch
+    and scalar replications receive bit-identical streams.
+    @raise Invalid_argument on a negative count. *)
+
 val copy : t -> t
 (** [copy g] duplicates the current state. *)
 

@@ -66,6 +66,53 @@ let replicate_par ?pool ?jobs ?(telemetry = Instrument.disabled) ~replications
     (fun tel rng -> Instrument.with_span tel "replicate" (fun () -> f rng))
     (split_seeds ~replications ~seed)
 
+let replicate_batched ?pool ?jobs ?(telemetry = Instrument.disabled) ?max_steps
+    ?(record = `Count) ~replications ~seed algo schedule =
+  if not (Doda_dynamic.Schedule.is_frozen schedule) then
+    invalid_arg
+      "Experiment.replicate_batched: the schedule must be frozen (it is \
+       shared read-only across batch tasks)";
+  if not (Doda_core.Batch_engine.batch_supported algo) then
+    invalid_arg
+      (Printf.sprintf "Experiment.replicate_batched: %s has no batch rule"
+         algo.Doda_core.Algorithm.name);
+  (* One stream per replication, split up front in index order exactly
+     like [replicate_par]; batch [b] receives the contiguous slice its
+     replications would have received scalar, so the partition into
+     batches (and the job count) cannot change any result. *)
+  let seeds = split_seeds ~replications ~seed in
+  let width = Doda_core.Batch_engine.word_bits in
+  let batches = (replications + width - 1) / width in
+  let starts = Array.init batches (fun b -> b * width) in
+  let jobs =
+    match (pool, jobs) with
+    | None, None -> Some (Pool.default_jobs ())
+    | _ -> jobs
+  in
+  let chunks =
+    dispatch_instrumented ?pool ?jobs ~telemetry
+      (fun tel start ->
+        let count = Stdlib.min width (replications - start) in
+        let rngs = Array.sub seeds start count in
+        Instrument.with_span tel "batch" (fun () ->
+            let stats = Doda_core.Batch_engine.stats () in
+            let results =
+              Doda_core.Batch_engine.run_reps ?max_steps ~record ~rngs ~stats
+                algo schedule count
+            in
+            let m = Instrument.metrics tel in
+            Doda_obs.Metrics.incr (Doda_obs.Metrics.counter m "batch.runs");
+            Doda_obs.Metrics.add
+              (Doda_obs.Metrics.counter m "batch.decodes")
+              stats.decodes;
+            Doda_obs.Metrics.add
+              (Doda_obs.Metrics.counter m "batch.rep_steps")
+              stats.lane_steps;
+            results))
+      starts
+  in
+  Array.concat (Array.to_list chunks)
+
 let of_results ~label ~n results =
   let samples = ref [] in
   let failures = ref 0 in

@@ -58,6 +58,35 @@ val replicate_par :
     at any job count; disabled telemetry takes the exact
     uninstrumented code path. *)
 
+val replicate_batched :
+  ?pool:Pool.t -> ?jobs:int -> ?telemetry:Doda_obs.Instrument.t ->
+  ?max_steps:int -> ?record:[ `All | `Count ] ->
+  replications:int -> seed:int ->
+  Doda_core.Algorithm.t -> Doda_dynamic.Schedule.t ->
+  Doda_core.Engine.result array
+(** [replicate_batched ~replications ~seed algo sched] runs
+    [replications] lockstep replications of a batch-capable [algo]
+    over one shared {e frozen} schedule, in bit-parallel batches of
+    {!Doda_core.Batch_engine.word_bits} replications — each batch one
+    pool task. [record] defaults to [`Count] (measurement paths
+    consume durations).
+
+    Streams come from {!split_seeds} exactly like {!replicate_par}:
+    replication [k] receives stream [k] whatever the batch partition
+    or job count, so results are bit-identical at any [jobs] (for coin
+    algorithms, the batch path draws from these per-replication
+    streams — not from the master captured at algorithm construction,
+    which the scalar [Engine.run] path splits).
+
+    [telemetry] records one ["batch"] span per batch plus the
+    [batch.runs] / [batch.decodes] / [batch.rep_steps] counters:
+    [rep_steps / decodes] is the decode amortisation, and dividing
+    further by {!Doda_core.Batch_engine.word_bits} gives batch
+    occupancy.
+
+    @raise Invalid_argument if the schedule is not frozen or the
+    algorithm has no batch rule. *)
+
 val of_results : label:string -> n:int -> Doda_core.Engine.result array -> measurement
 
 val run_uniform :

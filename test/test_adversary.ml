@@ -101,6 +101,7 @@ let test_theorem1_defeats_waiting_greedy_like_memory () =
       Doda_core.Algorithm.name = Printf.sprintf "patient-%d" k;
       oblivious = false;
       requires = [];
+      batch = None;
       make =
         (fun ~n:_ ~sink knowledge ->
           ignore knowledge;
@@ -262,6 +263,7 @@ let test_theorem2_search_passive_algorithm () =
       Doda_core.Algorithm.name = "never";
       oblivious = true;
       requires = [];
+      batch = None;
       make =
         (fun ~n:_ ~sink:_ _ ->
           {

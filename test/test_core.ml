@@ -265,6 +265,7 @@ let rogue_algorithm name decide =
     Doda_core.Algorithm.name;
     oblivious = true;
     requires = [];
+    batch = None;
     make =
       (fun ~n:_ ~sink:_ _ ->
         { Doda_core.Algorithm.observe = Doda_core.Algorithm.no_observation; decide });
