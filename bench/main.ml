@@ -82,9 +82,12 @@ let replicate ~replications ~seed f =
 let suite_spans = lazy (Obs_span.create ~capacity:256 ())
 
 (* With DODA_BENCH_CSV=<dir> in the environment, every printed table is
-   also archived as CSV under that directory (empty value: disabled). *)
+   also archived as CSV under that directory (empty value: disabled).
+   Relative paths land under DODA_SCRATCH when that is set. *)
 let csv_dir =
-  match Sys.getenv_opt "DODA_BENCH_CSV" with Some "" -> None | d -> d
+  match Sys.getenv_opt "DODA_BENCH_CSV" with
+  | Some "" | None -> None
+  | Some d -> Some (Doda_sim.Scratch.resolve d)
 
 let csv_counter = ref 0
 
@@ -1405,6 +1408,129 @@ let batch () =
   print_table ~csv:false ~name:"batch" t
 
 (* ------------------------------------------------------------------ *)
+(* SCALE — run-core scaling on chunked schedules: time and memory vs n
+   on log–log axes, with fitted exponents.                             *)
+
+(* Fitted log–log exponents from the SCALE experiment, archived at the
+   top level of BENCH_results.json (schema 4); [[]] when it did not
+   run or had fewer than two points. *)
+let scale_fits : (string * float) list ref = ref []
+
+let scale () =
+  header "SCALE | run-core scaling: chunked Gathering sweeps up to n = 1e5"
+    "Gathering under the uniform adversary on chunked (streaming)\n\
+     schedules: the run holds one recycled block, not the O(n^2)\n\
+     materialised interaction prefix, so the sweep reaches n where a\n\
+     lazy schedule would exhaust memory. The duration table is a\n\
+     deterministic baseline; wall-clock and memory are machine-\n\
+     dependent, so the perf table skips the CSV mirror. rss is\n\
+     process-wide (all domains), heap is the main domain's major\n\
+     heap. Override points with DODA_SCALE_NS=n1,n2,... and the\n\
+     per-point replication count with DODA_SCALE_REPS=r (CI smoke\n\
+     uses small values; the committed baseline uses the defaults).";
+  let ns =
+    match Sys.getenv_opt "DODA_SCALE_NS" with
+    | None | Some "" -> [ 1_000; 10_000; 100_000 ]
+    | Some s ->
+        List.map
+          (fun x ->
+            match int_of_string_opt (String.trim x) with
+            | Some n when n >= 2 -> n
+            | _ ->
+                Printf.eprintf "DODA_SCALE_NS: bad entry %S\n" x;
+                exit 1)
+          (String.split_on_char ',' s)
+  in
+  let reps_override =
+    match Sys.getenv_opt "DODA_SCALE_REPS" with
+    | None | Some "" -> None
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some r when r >= 1 -> Some r
+        | _ ->
+            Printf.eprintf "DODA_SCALE_REPS: bad value %S\n" s;
+            exit 1)
+  in
+  (* Expected duration is ~n^2 interactions at ~1e7 steps/s, so
+     replications thin out as n grows: the n = 1e5 point is a single
+     ~1e10-step run. *)
+  let reps_for n =
+    match reps_override with
+    | Some r -> r
+    | None -> if n >= 100_000 then 1 else if n >= 10_000 then 2 else 3
+  in
+  let t =
+    Table.create
+      ~header:[ "n"; "reps"; "interactions"; "stderr"; "n(n-1)(1-1/n)"; "ratio" ]
+  in
+  let tp =
+    Table.create
+      ~header:[ "n"; "reps"; "wall s/rep"; "steps/s"; "rss MB"; "heap Mw" ]
+  in
+  let dur_points = ref [] and wall_points = ref [] and rss_points = ref [] in
+  List.iter
+    (fun n ->
+      let reps = reps_for n in
+      let t0 = Unix.gettimeofday () in
+      let results =
+        replicate ~replications:reps ~seed:master_seed (fun rng ->
+            let sched =
+              Schedule.of_fun_chunked ~n ~sink:0 (Generators.uniform rng ~n)
+            in
+            Engine.run ~record:`Count
+              ~max_steps:((10 * n * n) + 10_000)
+              Algorithms.gathering sched)
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      let samples = durations results in
+      let m, se = mean_stderr samples in
+      let predicted = Theory.expected_gathering n in
+      Table.add_row t
+        [
+          string_of_int n; string_of_int reps; fmt m; fmt se; fmt predicted;
+          ratio (m /. predicted);
+        ];
+      let total_steps = Array.fold_left ( +. ) 0.0 samples in
+      let wall_per_rep = wall /. float_of_int reps in
+      let rss = Doda_obs.Resource.rss_bytes () in
+      let heap = Doda_obs.Resource.heap_words () in
+      Table.add_row tp
+        [
+          string_of_int n; string_of_int reps; fmt wall_per_rep;
+          Printf.sprintf "%.3g" (total_steps /. wall);
+          (match rss with
+          | Some b -> fmt (float_of_int b /. 1e6)
+          | None -> "-");
+          fmt (float_of_int heap /. 1e6);
+        ];
+      let success =
+        float_of_int (Array.length samples) /. float_of_int reps
+      in
+      let point mean = { Scaling.n; mean; std_error = 0.0; success } in
+      dur_points := point m :: !dur_points;
+      wall_points := point wall_per_rep :: !wall_points;
+      Option.iter
+        (fun b -> rss_points := point (float_of_int b) :: !rss_points)
+        rss)
+    ns;
+  print_table ~name:"scale" t;
+  print_table ~csv:false ~name:"scale_perf" tp;
+  scale_fits := [];
+  let fit label points =
+    let points = List.rev points in
+    if List.length points >= 2 then begin
+      let f = Scaling.exponent points in
+      scale_fits :=
+        !scale_fits @ [ (label ^ "_slope", f.slope); (label ^ "_r2", f.r2) ];
+      Printf.printf "log-log %s exponent: %.3f (r2=%.4f)\n" label f.slope f.r2
+    end
+  in
+  fit "interactions" !dur_points;
+  fit "wall" !wall_points;
+  (* The point of the chunked run-core: this one stays near zero. *)
+  fit "rss" !rss_points
+
+(* ------------------------------------------------------------------ *)
 
 let all_experiments =
   [
@@ -1415,7 +1541,7 @@ let all_experiments =
     ("exact", exact);
     ("variants", variants); ("spite", spite); ("mixed", mixed); ("price", price);
     ("policies", policies); ("gen", gen); ("micro", micro);
-    ("batch", batch);
+    ("batch", batch); ("scale", scale);
   ]
 
 (* Machine-readable archive: per-experiment wall clock plus every table
@@ -1424,8 +1550,8 @@ let all_experiments =
 let json_path =
   match Sys.getenv_opt "DODA_BENCH_JSON" with
   | Some "" -> None
-  | Some p -> Some p
-  | None -> Some "BENCH_results.json"
+  | Some p -> Some (Doda_sim.Scratch.resolve p)
+  | None -> Some (Doda_sim.Scratch.resolve "BENCH_results.json")
 
 let write_json path results =
   let module Json = Doda_sim.Json in
@@ -1466,7 +1592,7 @@ let write_json path results =
   Json.write path
     (Json.Obj
        [
-         ("schema", Json.Int 3);
+         ("schema", Json.Int 4);
          ("jobs", Json.Int !jobs);
          ("seed", Json.Int master_seed);
          ("replications", Json.Int replications);
@@ -1475,6 +1601,11 @@ let write_json path results =
          ( "batch_speedup",
            Json.Obj
              (List.map (fun (k, s) -> (k, Json.Float s)) !batch_speedups) );
+         (* Schema 4: fitted log-log exponents from the SCALE
+            experiment ([{}] when it did not run). *)
+         ( "scale_exponents",
+           Json.Obj
+             (List.map (fun (k, s) -> (k, Json.Float s)) !scale_fits) );
          ("spans", Json.List spans);
          ("experiments", Json.List experiments);
        ]);

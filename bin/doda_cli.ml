@@ -44,14 +44,27 @@ module Workload = Doda_sim.Workload
 let parse_source s =
   match Workload.parse s with Ok w -> Ok w | Error msg -> Error (`Msg msg)
 
-let schedule_of_source ?telemetry source ~n ~sink ~seed =
-  Workload.schedule ?telemetry source ~n ~sink ~seed
+let schedule_of_source ?telemetry ?stream source ~n ~sink ~seed =
+  Workload.schedule ?telemetry ?stream source ~n ~sink ~seed
 
 (* --metrics / --trace: shared by run and sweep. Telemetry is created
    only when one of the flags asks for it; otherwise every code path
-   sees the shared disabled handle. *)
-let telemetry_of ~metrics ~trace =
-  if metrics || trace <> None then Instrument.create () else Instrument.disabled
+   sees the shared disabled handle. [resources] turns on the memory
+   gauges — single runs only: their values are not deterministic
+   across job counts, and sweep's --metrics block is diffed at several
+   --jobs in CI. *)
+let telemetry_of ?(resources = false) ~metrics ~trace () =
+  if metrics || trace <> None then Instrument.create ~resources ()
+  else Instrument.disabled
+
+let stream_flag =
+  Arg.(
+    value & flag
+    & info [ "stream" ]
+        ~doc:
+          "Stream the schedule through a fixed-size block (bounded memory at \
+           any horizon) instead of materialising it. Results are identical; \
+           meet-time oracles and offline prefix analysis are unavailable.")
 
 let emit_trace tel = function
   | None -> ()
@@ -116,10 +129,12 @@ let find_algo name n =
 (* doda run                                                            *)
 
 let run_cmd =
-  let run algo_name n sink seed source max_steps timeline metrics trace =
-    let tel = telemetry_of ~metrics ~trace in
+  let run algo_name n sink seed source max_steps timeline stream metrics trace =
+    let tel = telemetry_of ~resources:true ~metrics ~trace () in
     let algo = find_algo algo_name n in
-    let sched = schedule_of_source ~telemetry:tel source ~n ~sink ~seed in
+    let sched =
+      schedule_of_source ~telemetry:tel ~stream source ~n ~sink ~seed
+    in
     let max_steps =
       match (max_steps, Schedule.length sched) with
       | Some m, _ -> Some m
@@ -133,14 +148,23 @@ let run_cmd =
     in
     Format.printf "algorithm: %s@." algo.Doda_core.Algorithm.name;
     Format.printf "%a@." Engine.pp_result result;
-    let examined = Schedule.materialized sched in
-    let prefix = Schedule.prefix sched examined in
-    Instrument.with_span tel "analysis/offline-opt" (fun () ->
-        match Convergecast.opt ~n:(Schedule.n sched) ~sink prefix 0 with
-        | Some o -> Format.printf "offline optimum on played prefix: %d@." (o + 1)
-        | None -> Format.printf "offline optimum on played prefix: infeasible@.");
-    Format.printf "cost: %a@." Cost.pp
-      (Cost.of_result ~n:(Schedule.n sched) ~sink prefix result);
+    if stream then
+      (* A streamed schedule keeps only its current block: the played
+         prefix no longer exists to analyse — which is the point. *)
+      Format.printf
+        "offline prefix analysis skipped (--stream keeps no prefix)@."
+    else begin
+      let examined = Schedule.materialized sched in
+      let prefix = Schedule.prefix sched examined in
+      Instrument.with_span tel "analysis/offline-opt" (fun () ->
+          match Convergecast.opt ~n:(Schedule.n sched) ~sink prefix 0 with
+          | Some o ->
+              Format.printf "offline optimum on played prefix: %d@." (o + 1)
+          | None ->
+              Format.printf "offline optimum on played prefix: infeasible@.");
+      Format.printf "cost: %a@." Cost.pp
+        (Cost.of_result ~n:(Schedule.n sched) ~sink prefix result)
+    end;
     if timeline then
       print_string (Doda_sim.Timeline.render ~n:(Schedule.n sched) ~sink result);
     if metrics then print_string (Instrument.summary tel);
@@ -150,7 +174,8 @@ let run_cmd =
     Arg.(value & flag & info [ "timeline" ] ~doc:"Draw an ASCII execution timeline.")
   in
   let term = Term.(const run $ algo_arg $ n_arg $ sink_arg $ seed_arg $ source_arg
-                   $ max_steps_arg $ timeline $ metrics_flag $ trace_arg)
+                   $ max_steps_arg $ timeline $ stream_flag $ metrics_flag
+                   $ trace_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one algorithm against one interaction source.") term
 
@@ -201,30 +226,54 @@ let duel_cmd =
 (* doda sweep                                                          *)
 
 let sweep_cmd =
-  let sweep algo_name ns reps seed source csv jobs metrics trace =
+  let sweep algo_name ns reps seed source csv jobs stream checkpoint metrics
+      trace =
     if jobs < 1 then begin
       Printf.eprintf "--jobs must be >= 1, got %d\n" jobs;
       exit 2
     end;
-    let tel = telemetry_of ~metrics ~trace in
+    let tel = telemetry_of ~metrics ~trace () in
+    let cp =
+      match checkpoint with
+      | None -> None
+      | Some path ->
+          (* The key pins every parameter that shapes the sweep, so a
+             checkpoint from a differently-shaped run is discarded
+             instead of leaking wrong results in. *)
+          let key =
+            Printf.sprintf "sweep v1 algo=%s source=%s ns=%s reps=%d seed=%d"
+              algo_name
+              (Workload.to_string source)
+              (String.concat "," (List.map string_of_int ns))
+              reps seed
+          in
+          Some (Doda_sim.Checkpoint.create ~path ~key)
+    in
     let t = Table.create ~header:[ "n"; "mean"; "stderr"; "success" ] in
     (* One pool for the whole sweep. Seeds are pre-split sequentially
        (Experiment.replicate_par), so the table is identical whatever
        --jobs is. *)
     Doda_sim.Pool.with_pool ~jobs @@ fun pool ->
     let points =
-      List.map
-        (fun n ->
+      List.mapi
+        (fun i n ->
           let algo = find_algo algo_name n in
+          let checkpoint =
+            (* One file spans the whole sweep: point [i] owns the slot
+               range [i*reps .. (i+1)*reps). *)
+            Option.map
+              (fun cp -> Doda_sim.Checkpoint.sub cp ~base:(i * reps))
+              cp
+          in
           let m =
-            Experiment.run_schedule_factory ~pool ~telemetry:tel
+            Experiment.run_schedule_factory ~pool ~telemetry:tel ?checkpoint
               ~replications:reps ~seed
               ~max_steps:((400 * n * n) + 10_000)
               ~label:algo.Doda_core.Algorithm.name ~n
               (fun rng ->
                 (* One independent instantiation of the workload per
                    replication, derived from the split stream. *)
-                Workload.schedule source ~n ~sink:0
+                Workload.schedule ~stream source ~n ~sink:0
                   ~seed:(Prng.int rng 1_000_000_000))
               algo
           in
@@ -239,6 +288,7 @@ let sweep_cmd =
           p)
         ns
     in
+    Option.iter Doda_sim.Checkpoint.close cp;
     Table.print t;
     (match csv with
     | Some path ->
@@ -286,9 +336,20 @@ let sweep_cmd =
              the recommended domain count). Results are identical at any job \
              count.")
   in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Record each finished replication to $(docv) and resume from it: \
+             an interrupted sweep restarted with the same parameters skips \
+             finished slots and produces the bit-identical table. Relative \
+             paths honour $(b,DODA_SCRATCH).")
+  in
   let term =
     Term.(const sweep $ algo_arg $ ns $ reps $ seed_arg $ source_arg $ csv $ jobs
-          $ metrics_flag $ trace_arg)
+          $ stream_flag $ checkpoint $ metrics_flag $ trace_arg)
   in
   Cmd.v
     (Cmd.info "sweep"

@@ -1,8 +1,17 @@
 module Sequence = Doda_dynamic.Sequence
 module Interaction = Doda_dynamic.Interaction
+module Int_vec = Doda_dynamic.Int_vec
 
-let check_n n =
-  if n > 20 then invalid_arg "Brute_force: n too large for subset search";
+let check_n_dense n =
+  if n > 20 then
+    invalid_arg "Brute_force: n too large for the dense subset search";
+  if n < 1 then invalid_arg "Brute_force: n must be positive"
+
+(* Sparse masks are tagged OCaml ints, so [1 lsl n] must not reach the
+   sign bit of a 63-bit word. *)
+let check_n_sparse n =
+  if n > 61 then
+    invalid_arg "Brute_force: n too large for subset search (62-bit masks)";
   if n < 1 then invalid_arg "Brute_force: n must be positive"
 
 (* Reachable ownership states as a bitvector over the 2^n mask space:
@@ -37,8 +46,8 @@ let sweep ~sink bv ~full i =
     end
   done
 
-let optimal_duration ~n ~sink s ~start =
-  check_n n;
+let optimal_duration_dense ~n ~sink s ~start =
+  check_n_dense n;
   let goal = 1 lsl sink in
   let full = (1 lsl n) - 1 in
   if full = goal then Some start
@@ -56,8 +65,8 @@ let optimal_duration ~n ~sink s ~start =
     !result
   end
 
-let reachable_states ~n ~sink s =
-  check_n n;
+let reachable_states_dense ~n ~sink s =
+  check_n_dense n;
   let full = (1 lsl n) - 1 in
   let bv = Bytes.make (((full + 1) + 7) lsr 3) '\000' in
   bit_set bv full;
@@ -67,3 +76,75 @@ let reachable_states ~n ~sink s =
     if bit_test bv mask then acc := mask :: !acc
   done;
   !acc
+
+(* ------------------------------------------------------------------ *)
+(* Sparse variant: the reachable set as a hash table plus an insertion-
+   order vector, sized by the states actually *touched* instead of the
+   full 2^n bitvector (which costs 2^n / 8 bytes even when a short
+   sequence reaches a handful of states). Successors never cascade
+   within one interaction — they lack the cleared endpoint — so
+   bounding the scan by the pre-interaction length gives exactly the
+   dense sweep's semantics. *)
+
+type sparse = { tbl : (int, unit) Hashtbl.t; order : Int_vec.t }
+
+let sparse_create full =
+  let tbl = Hashtbl.create 256 in
+  Hashtbl.replace tbl full ();
+  let order = Int_vec.create ~capacity:256 () in
+  Int_vec.push order full;
+  { tbl; order }
+
+let sparse_add sp mask =
+  if not (Hashtbl.mem sp.tbl mask) then begin
+    Hashtbl.replace sp.tbl mask ();
+    Int_vec.push sp.order mask
+  end
+
+let sparse_sweep ~sink sp i =
+  let a = Interaction.u i and b = Interaction.v i in
+  let both = (1 lsl a) lor (1 lsl b) in
+  let bit_a = 1 lsl a and bit_b = 1 lsl b in
+  let len = Int_vec.length sp.order in
+  for k = 0 to len - 1 do
+    let mask = Int_vec.unsafe_get sp.order k in
+    if mask land both = both then begin
+      if a <> sink then sparse_add sp (mask lxor bit_a);
+      if b <> sink then sparse_add sp (mask lxor bit_b)
+    end
+  done
+
+let optimal_duration_sparse ~n ~sink s ~start =
+  check_n_sparse n;
+  let goal = 1 lsl sink in
+  let full = (1 lsl n) - 1 in
+  if full = goal then Some start
+  else begin
+    let len = Sequence.length s in
+    let sp = sparse_create full in
+    let result = ref None in
+    let t = ref start in
+    while !result = None && !t < len do
+      sparse_sweep ~sink sp (Sequence.get s !t);
+      if Hashtbl.mem sp.tbl goal then result := Some !t;
+      incr t
+    done;
+    !result
+  end
+
+let reachable_states_sparse ~n ~sink s =
+  check_n_sparse n;
+  let full = (1 lsl n) - 1 in
+  let sp = sparse_create full in
+  Sequence.iteri (fun _ i -> sparse_sweep ~sink sp i) s;
+  List.sort compare (Int_vec.to_array sp.order |> Array.to_list)
+
+(* Dense wins below its 2^20-bit ceiling (cache-linear sweeps, no
+   hashing); sparse extends the reachable-set search beyond it. *)
+let optimal_duration ~n ~sink s ~start =
+  if n <= 20 then optimal_duration_dense ~n ~sink s ~start
+  else optimal_duration_sparse ~n ~sink s ~start
+
+let reachable_states ~n ~sink s =
+  if n <= 20 then reachable_states_dense ~n ~sink s
+  else reachable_states_sparse ~n ~sink s

@@ -1,19 +1,47 @@
 (** Exhaustive offline optimum over all aggregation schedules, by a
-    reachability sweep over data-ownership states: a bitvector over the
-    2^n bitmask subsets, one cache-linear pass per interaction.
+    reachability sweep over data-ownership states. Two backings share
+    the same successor relation:
 
-    Exponential in [n] — intended for [n <= 12] — and used by the test
-    suite to cross-validate the polynomial {!Convergecast} solver built
-    on the broadcast duality. *)
+    - {e dense}: a bitvector over the full 2^n bitmask space, one
+      cache-linear pass per interaction — fastest while 2^n bits fit a
+      cache-friendly buffer ([n <= 20]);
+    - {e sparse}: a hash table plus insertion-order vector holding only
+      the states actually {e reached}, so memory scales with touched
+      states rather than 2^n — usable up to [n <= 61] when the
+      sequence keeps the reachable set small.
+
+    Exponential in the worst case either way — intended for small [n] —
+    and used by the test suite to cross-validate the polynomial
+    {!Convergecast} solver built on the broadcast duality. *)
 
 val optimal_duration :
   n:int -> sink:int -> Doda_dynamic.Sequence.t -> start:int -> int option
 (** [optimal_duration ~n ~sink s ~start] is the earliest possible
     ending time of a complete aggregation starting at [start] —
     semantically identical to [Convergecast.opt ~n ~sink s start].
-    @raise Invalid_argument if [n > 20] (state space too large). *)
+    Dispatches to the dense sweep for [n <= 20] and the sparse one
+    beyond. @raise Invalid_argument if [n > 61]. *)
+
+val optimal_duration_dense :
+  n:int -> sink:int -> Doda_dynamic.Sequence.t -> start:int -> int option
+(** The bitvector backing, explicitly.
+    @raise Invalid_argument if [n > 20] (2^n-bit state space). *)
+
+val optimal_duration_sparse :
+  n:int -> sink:int -> Doda_dynamic.Sequence.t -> start:int -> int option
+(** The hashed backing, explicitly: answers identical to
+    {!optimal_duration_dense} wherever both are defined (the
+    differential tests pin this), memory proportional to reached
+    states. @raise Invalid_argument if [n > 61] (masks are tagged
+    63-bit ints). *)
 
 val reachable_states : n:int -> sink:int -> Doda_dynamic.Sequence.t -> int list
 (** All ownership states (bitmasks over nodes) reachable by some
     schedule over the whole sequence, in increasing mask order; for
-    inspection and tests. *)
+    inspection and tests. Dispatches like {!optimal_duration}. *)
+
+val reachable_states_dense :
+  n:int -> sink:int -> Doda_dynamic.Sequence.t -> int list
+
+val reachable_states_sparse :
+  n:int -> sink:int -> Doda_dynamic.Sequence.t -> int list

@@ -239,6 +239,21 @@ let run ?knowledge ?max_steps ?record ?observers (algo : Algorithm.t) schedule =
         let t = st.clock in
         exec_step st instance holds ~t (Doda_dynamic.Sequence.unsafe_get seq t)
       done
+  | None when Schedule.is_chunked schedule ->
+      (* Chunked: drain the hot block with a flat inner loop — the
+         only per-step work beyond [exec_step] is one array read — and
+         pay the refill once per block via [chunk_view]. *)
+      while st.owner_count > 1 && st.clock < limit do
+        let block, off, avail = Schedule.chunk_view schedule st.clock in
+        let base = st.clock in
+        let stop = Stdlib.min limit (base + avail) in
+        while st.owner_count > 1 && st.clock < stop do
+          let t = st.clock in
+          exec_step st instance holds ~t
+            (Interaction.of_int_unchecked
+               (Array.unsafe_get block (off + t - base)))
+        done
+      done
   | None ->
       (* Generator: the allocation-free [Schedule.get_exn] materialises
          as it goes. *)

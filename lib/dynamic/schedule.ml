@@ -2,13 +2,18 @@ type source = Finite of Sequence.t | Generator of (int -> Interaction.t)
 
 (* Mutable schedule: lazily materialised prefix (generators) plus a
    lazily extended index of sink meetings. Packed interactions live in
-   monomorphic int buffers, so materialisation is write-barrier-free. *)
+   monomorphic int buffers, so materialisation is write-barrier-free.
+   The sink-meeting vectors are allocated per *touched* node on first
+   meeting, so an n-node schedule whose run only ever exercises a few
+   nodes near the sink costs O(touched) vectors, not O(n). *)
 type live = {
   node_count : int;
   sink_id : int;
   source : source;
   buf : Int_vec.t;  (* packed materialised prefix (generators only) *)
-  meets : Int_vec.t array;  (* per node, times of its sink interactions *)
+  meets : Int_vec.t option array;
+      (* per node, times of its sink interactions; [None] until the
+         node's first indexed sink meeting *)
   mutable indexed : int;  (* interactions whose sink meetings are indexed *)
 }
 
@@ -22,14 +27,44 @@ type frozen = {
   f_meets : int array array;  (* per node, sorted sink-meeting times *)
 }
 
-type t = Live of live | Frozen of frozen
+(* Streaming form: one fixed-size block of packed interactions decoded
+   from the generator on demand, recycled in place as time advances.
+   Memory is O(block) whatever the horizon — no prefix buffer, no
+   sink-meeting index — at the price of strictly forward access. *)
+type chunked = {
+  c_node_count : int;
+  c_sink : int;
+  c_gen : int -> Interaction.t;
+  c_length : int option;  (* finite horizon (streamed traces), if any *)
+  c_block : int array;  (* packed interactions [c_base .. c_base+c_len) *)
+  mutable c_base : int;  (* time of [c_block.(0)] *)
+  mutable c_len : int;  (* valid entries in the block *)
+}
+
+type t = Live of live | Frozen of frozen | Chunked of chunked
+
+let default_block = 8192
 
 let check_interaction ~n i =
   if Interaction.v i >= n then
     invalid_arg "Schedule: interaction mentions a node id >= n"
 
-let make ~n ~sink source =
+(* Fail fast on node counts the packed encoding cannot represent: an
+   interaction packs both ids into one 63-bit OCaml int as
+   [(u lsl 31) lor v], so ids — and the sink-meeting index keyed by
+   them — silently wrap past [Interaction.max_node_id]. *)
+let check_node_count n =
   if n < 2 then invalid_arg "Schedule: need at least two nodes";
+  if n - 1 > Interaction.max_node_id then
+    invalid_arg
+      (Printf.sprintf
+         "Schedule: n = %d exceeds the packed-interaction encoding (node ids \
+          take 31 of the 63 int bits, so n <= %d)"
+         n
+         (Interaction.max_node_id + 1))
+
+let make ~n ~sink source =
+  check_node_count n;
   if sink < 0 || sink >= n then invalid_arg "Schedule: sink out of range";
   Live
     {
@@ -37,7 +72,7 @@ let make ~n ~sink source =
       sink_id = sink;
       source;
       buf = Int_vec.create ();
-      meets = Array.init n (fun _ -> Int_vec.create ());
+      meets = Array.make n None;
       indexed = 0;
     }
 
@@ -48,8 +83,33 @@ let of_sequence ~n ~sink seq =
 
 let of_fun ~n ~sink gen = make ~n ~sink (Generator gen)
 
-let n = function Live t -> t.node_count | Frozen f -> f.f_node_count
-let sink = function Live t -> t.sink_id | Frozen f -> f.f_sink
+let of_fun_chunked ?(block = default_block) ?length ~n ~sink gen =
+  check_node_count n;
+  if sink < 0 || sink >= n then invalid_arg "Schedule: sink out of range";
+  if block < 1 then invalid_arg "Schedule.of_fun_chunked: block must be >= 1";
+  (match length with
+  | Some l when l < 0 -> invalid_arg "Schedule.of_fun_chunked: negative length"
+  | _ -> ());
+  Chunked
+    {
+      c_node_count = n;
+      c_sink = sink;
+      c_gen = gen;
+      c_length = length;
+      c_block = Array.make block (Interaction.to_int Interaction.dummy);
+      c_base = 0;
+      c_len = 0;
+    }
+
+let n = function
+  | Live t -> t.node_count
+  | Frozen f -> f.f_node_count
+  | Chunked c -> c.c_node_count
+
+let sink = function
+  | Live t -> t.sink_id
+  | Frozen f -> f.f_sink
+  | Chunked c -> c.c_sink
 
 let length = function
   | Live t -> (
@@ -57,6 +117,7 @@ let length = function
       | Finite s -> Some (Sequence.length s)
       | Generator _ -> None)
   | Frozen f -> Some (Sequence.length f.f_seq)
+  | Chunked c -> c.c_length
 
 let materialized = function
   | Live t -> (
@@ -64,11 +125,21 @@ let materialized = function
       | Finite s -> Sequence.length s
       | Generator _ -> Int_vec.length t.buf)
   | Frozen f -> Sequence.length f.f_seq
+  | Chunked c -> c.c_base + c.c_len
 
 let raw_get t idx =
   match t.source with
   | Finite s -> Sequence.get s idx
   | Generator _ -> Interaction.of_int_unchecked (Int_vec.get t.buf idx)
+
+(* The sink-meeting vector of [node], allocated on first use. *)
+let meet_vec t node =
+  match Array.unsafe_get t.meets node with
+  | Some v -> v
+  | None ->
+      let v = Int_vec.create () in
+      t.meets.(node) <- Some v;
+      v
 
 let ensure t upto =
   (* Materialise interactions with index < upto where possible. *)
@@ -92,7 +163,7 @@ let ensure t upto =
       while t.indexed < stop do
         let i = Sequence.unsafe_get s t.indexed in
         if Interaction.involves i sink then
-          Int_vec.push t.meets.(Interaction.other i sink) t.indexed;
+          Int_vec.push (meet_vec t (Interaction.other i sink)) t.indexed;
         t.indexed <- t.indexed + 1
       done
   | Generator _ ->
@@ -102,9 +173,59 @@ let ensure t upto =
           Interaction.of_int_unchecked (Int_vec.unsafe_get t.buf t.indexed)
         in
         if Interaction.involves i sink then
-          Int_vec.push t.meets.(Interaction.other i sink) t.indexed;
+          Int_vec.push (meet_vec t (Interaction.other i sink)) t.indexed;
         t.indexed <- t.indexed + 1
       done
+
+(* Advance a chunked schedule so its block covers [time], decoding
+   whole blocks from the generator. The block is refilled in place:
+   once time moves past an entry it is gone for good, hence the
+   strictly-forward contract. Decoding whole blocks means the
+   generator may run up to one block ahead of the highest time read —
+   still exactly once per index, in increasing order. *)
+let chunk_advance c time =
+  if time < c.c_base then
+    invalid_arg
+      (Printf.sprintf
+         "Schedule: chunked schedules are forward-only (time %d is before \
+          the current block at %d)"
+         time c.c_base);
+  (match c.c_length with
+  | Some l when time >= l ->
+      invalid_arg "Schedule: past the end of a finite chunked schedule"
+  | _ -> ());
+  while time >= c.c_base + c.c_len do
+    let base = c.c_base + c.c_len in
+    let cap =
+      match c.c_length with
+      | Some l -> Stdlib.min (Array.length c.c_block) (l - base)
+      | None -> Array.length c.c_block
+    in
+    let gen = c.c_gen in
+    for k = 0 to cap - 1 do
+      let i = gen (base + k) in
+      check_interaction ~n:c.c_node_count i;
+      Array.unsafe_set c.c_block k (Interaction.to_int i)
+    done;
+    c.c_base <- base;
+    c.c_len <- cap
+  done
+
+let chunk_get c time =
+  chunk_advance c time;
+  Interaction.of_int_unchecked (Array.unsafe_get c.c_block (time - c.c_base))
+
+let is_chunked = function Chunked _ -> true | Live _ | Frozen _ -> false
+
+let chunk_view sched time =
+  match sched with
+  | Chunked c ->
+      if time < 0 then invalid_arg "Schedule.chunk_view: negative time";
+      chunk_advance c time;
+      let off = time - c.c_base in
+      (c.c_block, off, c.c_len - off)
+  | Live _ | Frozen _ ->
+      invalid_arg "Schedule.chunk_view: not a chunked schedule"
 
 let get sched time =
   if time < 0 then invalid_arg "Schedule.get: negative time";
@@ -119,6 +240,10 @@ let get sched time =
   | Frozen f ->
       if time < Sequence.length f.f_seq then Some (Sequence.get f.f_seq time)
       else None
+  | Chunked c -> (
+      match c.c_length with
+      | Some l when time >= l -> None
+      | _ -> Some (chunk_get c time))
 
 (* Allocation-free variant of [get]: the engine's hot loop calls this
    once per interaction, so no option wrapper. *)
@@ -136,11 +261,13 @@ let get_exn sched time =
   | Frozen f ->
       if time < Sequence.length f.f_seq then Sequence.get f.f_seq time
       else invalid_arg "Schedule.get_exn: past the end of a finite schedule"
+  | Chunked c -> chunk_get c time
 
 let backing = function
   | Live { source = Finite s; _ } -> Some s
   | Live { source = Generator _; _ } -> None
   | Frozen f -> Some f.f_seq
+  | Chunked _ -> None
 
 let prefix sched k =
   if k < 0 then invalid_arg "Schedule.prefix: negative length";
@@ -152,6 +279,10 @@ let prefix sched k =
   | Live t ->
       ensure t k;
       Sequence.of_array (Array.init k (fun idx -> raw_get t idx))
+  | Chunked _ ->
+      invalid_arg
+        "Schedule.prefix: chunked schedules keep no prefix (use of_fun for \
+         offline analysis)"
 
 (* First index in the sorted vector [v] whose value exceeds [x], or
    [Int_vec.length v] if none. *)
@@ -175,6 +306,10 @@ let first_above_arr (a : int array) x =
 let freeze sched =
   match sched with
   | Frozen _ -> sched
+  | Chunked _ ->
+      invalid_arg
+        "Schedule.freeze: chunked schedules are streaming-only (use of_fun \
+         and freeze a finite prefix instead)"
   | Live t -> (
       match t.source with
       | Generator _ ->
@@ -183,22 +318,41 @@ let freeze sched =
              instead)"
       | Finite s ->
           let n = t.node_count and sink = t.sink_id in
-          let meets = Array.init n (fun _ -> Int_vec.create ()) in
+          let meets = Array.make n None in
           let len = Sequence.length s in
           for time = 0 to len - 1 do
             let i = Sequence.unsafe_get s time in
             if Interaction.involves i sink then
-              Int_vec.push meets.(Interaction.other i sink) time
+              let node = Interaction.other i sink in
+              let v =
+                match meets.(node) with
+                | Some v -> v
+                | None ->
+                    let v = Int_vec.create () in
+                    meets.(node) <- Some v;
+                    v
+              in
+              Int_vec.push v time
           done;
           Frozen
             {
               f_node_count = n;
               f_sink = sink;
               f_seq = s;
-              f_meets = Array.map Int_vec.to_array meets;
+              f_meets =
+                Array.map
+                  (function None -> [||] | Some v -> Int_vec.to_array v)
+                  meets;
             })
 
-let is_frozen = function Frozen _ -> true | Live _ -> false
+let is_frozen = function Frozen _ -> true | Live _ | Chunked _ -> false
+
+let no_meet_index which =
+  invalid_arg
+    (Printf.sprintf
+       "Schedule.%s: chunked schedules keep no sink-meeting index (meet-time \
+        knowledge needs of_fun or a frozen schedule)"
+       which)
 
 let next_meet_with_sink sched ~node ~after ~limit =
   let count = n sched in
@@ -210,13 +364,16 @@ let next_meet_with_sink sched ~node ~after ~limit =
   end
   else
     match sched with
-    | Live t ->
+    | Chunked _ -> no_meet_index "next_meet_with_sink"
+    | Live t -> (
         ensure t (limit + 1);
-        let v = t.meets.(node) in
-        let pos = first_above v after in
-        if pos < Int_vec.length v && Int_vec.get v pos <= limit then
-          Some (Int_vec.get v pos)
-        else None
+        match t.meets.(node) with
+        | None -> None
+        | Some v ->
+            let pos = first_above v after in
+            if pos < Int_vec.length v && Int_vec.get v pos <= limit then
+              Some (Int_vec.get v pos)
+            else None)
     | Frozen f ->
         let a = f.f_meets.(node) in
         let pos = first_above_arr a after in
@@ -248,7 +405,7 @@ let stepper sched =
       (* Finite sources index in one O(len) pass up front (what
          [freeze] would do), so every later query is cursor-only. *)
       ensure t (Sequence.length s)
-  | Live _ | Frozen _ -> ());
+  | Live _ | Frozen _ | Chunked _ -> ());
   { st_sched = sched; st_pos = Array.make (n sched) 0 }
 
 let stepper_schedule st = st.st_sched
@@ -259,6 +416,7 @@ let stepper_get st time =
   | Frozen f ->
       if time < Sequence.length f.f_seq then Sequence.unsafe_get f.f_seq time
       else invalid_arg "Schedule.stepper_get: past the end"
+  | Chunked c -> chunk_get c time
   | Live t -> (
       match t.source with
       | Finite s ->
@@ -278,6 +436,7 @@ let stepper_next_meet st ~node ~after ~limit =
   end
   else
     match st.st_sched with
+    | Chunked _ -> no_meet_index "stepper_next_meet"
     | Frozen f ->
         let a = f.f_meets.(node) in
         let len = Array.length a in
@@ -295,17 +454,32 @@ let stepper_next_meet st ~node ~after ~limit =
           Some (Array.unsafe_get a !p)
         else None
     | Live t ->
-        let v = t.meets.(node) in
+        (* The node's meet vector may not exist yet (lazy allocation)
+           and may appear mid-search when [ensure] indexes its first
+           sink meeting, so re-read [t.meets.(node)] after every
+           materialisation step. *)
+        let vec_len () =
+          match Array.unsafe_get t.meets node with
+          | None -> 0
+          | Some v -> Int_vec.length v
+        in
+        let vec_get p =
+          match Array.unsafe_get t.meets node with
+          | None -> invalid_arg "Schedule.stepper_next_meet: empty meet index"
+          | Some v -> Int_vec.unsafe_get v p
+        in
         let p = ref st.st_pos.(node) in
-        if !p > 0 && Int_vec.get v (!p - 1) > after then p := first_above v after;
+        if !p > 0 && vec_get (!p - 1) > after then
+          p :=
+            (match Array.unsafe_get t.meets node with
+            | None -> 0
+            | Some v -> first_above v after);
         let searching = ref true in
         while !searching do
-          while
-            !p < Int_vec.length v && Int_vec.unsafe_get v !p <= after
-          do
+          while !p < vec_len () && vec_get !p <= after do
             incr p
           done;
-          if !p < Int_vec.length v then searching := false
+          if !p < vec_len () then searching := false
           else
             match t.source with
             | Finite _ -> searching := false (* fully indexed up front *)
@@ -317,19 +491,22 @@ let stepper_next_meet st ~node ~after ~limit =
                   ensure t (Stdlib.min (limit + 1) (t.indexed + stepper_chunk))
         done;
         st.st_pos.(node) <- !p;
-        if !p < Int_vec.length v && Int_vec.unsafe_get v !p <= limit then
-          Some (Int_vec.unsafe_get v !p)
+        if !p < vec_len () && vec_get !p <= limit then Some (vec_get !p)
         else None
 
 let meets_with_sink_upto sched k =
   let count = n sched and sink_id = sink sched in
   let counts = Array.make count 0 in
   (match sched with
+  | Chunked _ -> no_meet_index "meets_with_sink_upto"
   | Live t ->
       ensure t k;
       for node = 0 to count - 1 do
         if node <> sink_id then
-          counts.(node) <- first_above t.meets.(node) (k - 1)
+          counts.(node) <-
+            (match t.meets.(node) with
+            | None -> 0
+            | Some v -> first_above v (k - 1))
       done
   | Frozen f ->
       for node = 0 to count - 1 do

@@ -11,14 +11,28 @@
     time after [t] at which a node interacts with the sink — is a
     binary search instead of a scan.
 
+    For horizons where even lazy materialisation is too much — sweeps
+    at n >= 10^5 process ~n^2 interactions — a {e chunked} schedule
+    ({!of_fun_chunked}) streams the generator through one fixed-size
+    block recycled in place: memory is O(block) whatever the horizon,
+    at the price of strictly forward access and no sink-meeting index
+    (meet-time knowledge is unavailable; Gathering and Waiting need
+    none).
+
+    {b Node-count limit.} Interactions pack both endpoint ids into one
+    63-bit OCaml int ([(u lsl 31) lor v]), so every constructor
+    rejects [n > Interaction.max_node_id + 1] (= 2^31) with a clear
+    error instead of letting ids wrap silently.
+
     {b Thread-safety.} A live schedule is {e not} thread-safe: lazy
     materialisation and the sink index mutate unsynchronised internal
     buffers on access, including through ostensibly read-only calls
     such as {!get} and {!next_meet_with_sink}; it must stay confined to
-    one domain. A {e frozen} schedule ({!freeze}) is immutable — a flat
-    packed int array plus the complete sink-meeting index — and is safe
-    to share read-only across domains, e.g. one schedule per trace
-    swept by many algorithms on a {!Doda_sim.Pool}. *)
+    one domain. The same holds for a chunked schedule (block refills
+    mutate in place). A {e frozen} schedule ({!freeze}) is immutable —
+    a flat packed int array plus the complete sink-meeting index — and
+    is safe to share read-only across domains, e.g. one schedule per
+    trace swept by many algorithms on a {!Doda_sim.Pool}. *)
 
 type t
 
@@ -31,6 +45,31 @@ val of_fun : n:int -> sink:int -> (int -> Interaction.t) -> t
 (** [of_fun ~n ~sink gen] materialises [gen t] on first access to time
     [t]; [gen] is called exactly once per index, in increasing order. *)
 
+val of_fun_chunked :
+  ?block:int -> ?length:int -> n:int -> sink:int ->
+  (int -> Interaction.t) -> t
+(** [of_fun_chunked ~n ~sink gen] is a {e streaming} schedule over
+    [gen]: interactions are decoded [block] at a time (default 8192)
+    into one fixed buffer recycled in place, so memory stays O(block)
+    however far the run goes — in contrast to {!of_fun}, which keeps
+    the whole materialised prefix. [length] caps the schedule at a
+    finite horizon (e.g. a {!Trace.stream}ed file): decoding stops
+    there, {!length} reports it, and reads beyond it behave like the
+    end of any finite schedule. The trade-offs:
+
+    - {e strictly forward}: reading a time before the current block
+      raises [Invalid_argument] — old interactions are gone;
+    - {e no sink-meeting index}: {!next_meet_with_sink},
+      {!stepper_next_meet}, {!meets_with_sink_upto}, {!prefix} and
+      {!freeze} raise [Invalid_argument];
+    - [gen] is still called exactly once per index in increasing
+      order, but may run up to one block {e ahead} of the highest time
+      read (whole blocks are decoded at once). Give each chunked
+      schedule a dedicated PRNG stream.
+
+    @raise Invalid_argument on a bad [sink], [n] outside [2 ..
+    Interaction.max_node_id + 1], or [block < 1]. *)
+
 val freeze : t -> t
 (** The compact immutable form of a finite schedule: the interaction
     sequence as a flat packed int array plus the sink-meeting index
@@ -38,8 +77,8 @@ val freeze : t -> t
     anything, so the result can be shared read-only across domains and
     reused by every algorithm sweeping the same trace. Freezing an
     already frozen schedule is the identity.
-    @raise Invalid_argument on an unbounded (generator) schedule —
-    freeze a finite {!prefix} instead. *)
+    @raise Invalid_argument on an unbounded (generator or chunked)
+    schedule — freeze a finite {!prefix} instead. *)
 
 val is_frozen : t -> bool
 
@@ -53,18 +92,34 @@ val length : t -> int option
 
 val get : t -> int -> Interaction.t option
 (** [get s t] is [Some I_t], materialising as needed; [None] iff the
-    schedule is finite and [t] is past its end. *)
+    schedule is finite and [t] is past its end. On a chunked schedule,
+    @raise Invalid_argument for a time before the current block. *)
 
 val get_exn : t -> int -> Interaction.t
-(** @raise Invalid_argument past the end of a finite schedule. *)
+(** @raise Invalid_argument past the end of a finite schedule, or on a
+    chunked-schedule rewind. *)
 
 val backing : t -> Sequence.t option
 (** The full backing sequence of a finite or frozen schedule, no copy —
     the engine's hot loop iterates it directly as a flat int array.
-    [None] for generator schedules. *)
+    [None] for generator and chunked schedules. *)
+
+val is_chunked : t -> bool
+
+val chunk_view : t -> int -> int array * int * int
+(** [chunk_view s time] is [(block, off, avail)]: the current block of
+    a chunked schedule positioned so [block.(off)] is the packed
+    interaction at [time], with [avail >= 1] consecutive entries valid
+    from [off]. The engine's hot loop drains [avail] entries with no
+    per-step dispatch, then calls again — the refill is amortised over
+    the block. Advances (and recycles) the block as needed.
+    @raise Invalid_argument on a non-chunked schedule, a negative
+    time, or a time before the current block (forward-only). *)
 
 val materialized : t -> int
-(** Number of interactions materialised so far. *)
+(** Number of interactions materialised so far. For a chunked schedule
+    this is the high-water mark of decoded times — only the last block
+    of them is actually held in memory. *)
 
 val prefix : t -> int -> Sequence.t
 (** [prefix s k] is [I_0 .. I_{k-1}] as a finite sequence,

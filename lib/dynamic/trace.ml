@@ -36,6 +36,67 @@ let of_lines lines =
     lines;
   Sequence.of_list (List.rev !interactions)
 
+(* Streaming reader for chunked schedules: pass 1 validates the file
+   and finds its interaction count and largest node id in O(1) memory;
+   pass 2 is a stateful generator handing out one interaction per
+   index, in order — exactly the contract of
+   [Schedule.of_fun_chunked], which never rereads an index. *)
+let stream path =
+  let count = ref 0 and max_node = ref 0 in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lineno = ref 0 in
+      try
+        while true do
+          let line = input_line ic in
+          incr lineno;
+          match parse_line line with
+          | None -> ()
+          | Some (t, u, v) ->
+              if t <> !count then
+                failwith
+                  (Printf.sprintf "Trace: line %d: expected time %d, got %d"
+                     !lineno !count t);
+              ignore (Interaction.make u v);
+              if u > !max_node then max_node := u;
+              if v > !max_node then max_node := v;
+              incr count
+        done
+      with End_of_file -> ());
+  let total = !count in
+  let chan = ref None in
+  let next = ref 0 in
+  let gen t =
+    if t <> !next then
+      failwith
+        (Printf.sprintf "Trace.stream: out-of-order read (expected %d, got %d)"
+           !next t);
+    if t >= total then failwith "Trace.stream: read past the end of the trace";
+    let ic =
+      match !chan with
+      | Some ic -> ic
+      | None ->
+          let ic = open_in path in
+          chan := Some ic;
+          ic
+    in
+    let rec read () =
+      match parse_line (input_line ic) with
+      | None -> read ()
+      | Some (_, u, v) -> Interaction.make u v
+    in
+    let i = read () in
+    incr next;
+    if !next = total then begin
+      close_in_noerr ic;
+      chan := None
+    end;
+    i
+  in
+  (gen, total, !max_node)
+
 let load path =
   let ic = open_in path in
   Fun.protect

@@ -12,6 +12,17 @@ val load : string -> Sequence.t
     time unit). @raise Failure with a line-numbered message on
     malformed input. *)
 
+val stream : string -> (int -> Interaction.t) * int * int
+(** [stream path] is [(gen, length, max_node)]: a validating first
+    pass over the trace in O(1) memory (length, largest node id,
+    well-formedness — same errors as {!load}), plus a stateful
+    generator reading one interaction per index {e in increasing
+    order} on demand. Built for
+    [Schedule.of_fun_chunked ~length gen]: replaying a huge trace
+    costs one block of memory instead of the whole sequence.
+    @raise Failure on malformed input, out-of-order access, or
+    reading past [length]. *)
+
 val parse_line : string -> (int * int * int) option
 (** [parse_line l] is [Some (t, u, v)], or [None] for blank/comment
     lines. @raise Failure on malformed content. *)

@@ -8,19 +8,28 @@
 
 module Engine = Doda_core.Engine
 
-type t = { metrics : Metrics.t; spans : Span.t }
+type t = { metrics : Metrics.t; spans : Span.t; resources : bool }
 
-let create ?(span_capacity = 4096) () =
-  { metrics = Metrics.create (); spans = Span.create ~capacity:span_capacity () }
+let create ?(span_capacity = 4096) ?(resources = false) () =
+  {
+    metrics = Metrics.create ();
+    spans = Span.create ~capacity:span_capacity ();
+    resources;
+  }
 
-let disabled = { metrics = Metrics.disabled; spans = Span.null }
+let disabled = { metrics = Metrics.disabled; spans = Span.null; resources = false }
 let enabled t = Metrics.enabled t.metrics
 let metrics t = t.metrics
 let spans t = t.spans
 
 let shard t =
   if not (enabled t) then t
-  else { metrics = Metrics.shard t.metrics; spans = Span.shard t.spans }
+  else
+    {
+      metrics = Metrics.shard t.metrics;
+      spans = Span.shard t.spans;
+      resources = t.resources;
+    }
 
 let absorb t child =
   if child != t then begin
@@ -28,7 +37,28 @@ let absorb t child =
     Span.absorb t.spans child.spans
   end
 
-let with_span t name f = Span.with_span t.spans name f
+(* Resource gauges are sampled only on request ([resources = true]):
+   their values depend on GC timing and domain layout, so they are not
+   deterministic across job counts — enabling them would break the
+   byte-identical [--jobs] diff over a sweep's metrics summary. Gauges
+   merge by max, so the folded value is the peak over all shards. *)
+let sample_resources t =
+  if t.resources && Metrics.enabled t.metrics then begin
+    Metrics.set_max
+      (Metrics.gauge t.metrics "obs.heap_words")
+      (Resource.heap_words ());
+    match Resource.rss_bytes () with
+    | Some b -> Metrics.set_max (Metrics.gauge t.metrics "obs.rss_bytes") b
+    | None -> ()
+  end
+
+let with_span t name f =
+  if not t.resources then Span.with_span t.spans name f
+  else begin
+    let r = Span.with_span t.spans name f in
+    sample_resources t;
+    r
+  end
 let instant t name = Span.instant t.spans name
 
 let summary t =

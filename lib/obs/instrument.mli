@@ -8,7 +8,15 @@
 
 type t
 
-val create : ?span_capacity:int -> unit -> t
+val create : ?span_capacity:int -> ?resources:bool -> unit -> t
+(** [resources] (default [false]) turns on memory sampling: every
+    successful {!with_span} (and explicit {!sample_resources}) records
+    the [obs.heap_words] and [obs.rss_bytes] gauges via {!Resource}.
+    Off by default because gauge values depend on GC timing and domain
+    layout — they are {e not} byte-identical across job counts, unlike
+    every other metric, so sweeps whose summaries are diffed at
+    several [--jobs] must leave this off. *)
+
 val disabled : t
 val enabled : t -> bool
 val metrics : t -> Metrics.t
@@ -23,7 +31,15 @@ val absorb : t -> t -> unit
     (integer sums / maxima). *)
 
 val with_span : t -> string -> (unit -> 'a) -> 'a
+(** Times [f] into the span sink; with [resources] on, also samples
+    the memory gauges at the (successful) span boundary. *)
+
 val instant : t -> string -> unit
+
+val sample_resources : t -> unit
+(** Record the current {!Resource.heap_words} / {!Resource.rss_bytes}
+    into the [obs.heap_words] / [obs.rss_bytes] max-gauges. No-op
+    unless the handle was created with [~resources:true]. *)
 
 val summary : t -> string
 (** Metrics table followed by the span table; [""] when disabled. *)

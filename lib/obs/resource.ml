@@ -1,0 +1,34 @@
+(* Process-level resource probes for the scaling work: the scaling
+   bench and [--metrics] runs need to report memory, not just time.
+   GC figures come from [Gc.quick_stat] (no heap traversal); resident
+   set sizes are parsed from /proc/self/status, returning [None] on
+   platforms without procfs rather than guessing. *)
+
+let heap_words () = (Gc.quick_stat ()).Gc.heap_words
+let top_heap_words () = (Gc.quick_stat ()).Gc.top_heap_words
+
+(* First "<key>	<int> kB" line of /proc/self/status, in bytes. *)
+let proc_status_kb key =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let klen = String.length key in
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> None
+        | line ->
+            if String.length line > klen && String.sub line 0 klen = key then
+              match
+                Scanf.sscanf
+                  (String.sub line klen (String.length line - klen))
+                  " %d" (fun kb -> kb)
+              with
+              | kb -> Some (kb * 1024)
+              | exception Scanf.Scan_failure _ -> None
+              | exception Failure _ -> None
+            else scan ()
+      in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) scan
+
+let rss_bytes () = proc_status_kb "VmRSS:"
+let rss_peak_bytes () = proc_status_kb "VmHWM:"

@@ -1,0 +1,19 @@
+(** Process-level resource probes: GC heap figures and resident-set
+    sizes, so the scaling bench and [--metrics] report memory as well
+    as time. All probes are cheap enough to sample at span boundaries
+    ({!Gc.quick_stat} plus one short procfs read). *)
+
+val heap_words : unit -> int
+(** Current major-heap size in words ([Gc.quick_stat]; no heap
+    traversal). *)
+
+val top_heap_words : unit -> int
+(** High-water mark of the major heap, in words. *)
+
+val rss_bytes : unit -> int option
+(** Current resident set size ([VmRSS] of [/proc/self/status]), or
+    [None] where procfs is unavailable. Process-wide: includes every
+    domain's heap. *)
+
+val rss_peak_bytes : unit -> int option
+(** Peak resident set size ([VmHWM]), or [None]. *)

@@ -1,0 +1,144 @@
+(* Resumable sweep snapshots: one append-only text file recording, per
+   replication slot, the finished result's payload. Replication seed
+   streams are recomputed on resume (Experiment.split_seeds is
+   deterministic in slot order), so a slot index plus its payload is
+   the complete progress state — no PRNG internals on disk.
+
+   Format:  line 1   "doda-checkpoint 1 <key>"
+            line 2+  "<slot> <payload>"
+   A file whose key does not match is discarded and restarted: the
+   key encodes the sweep's parameters, so a stale checkpoint can never
+   leak results into a differently-shaped run. A torn final line (the
+   process died mid-write) is dropped on load and its slot re-run.
+
+   Records may come from pool worker domains; the channel and the
+   completed-slot table are guarded by one mutex (stdlib Mutex works
+   across domains). *)
+
+type shared = {
+  path : string;
+  key : string;
+  lock : Mutex.t;
+  done_tbl : (int, string) Hashtbl.t;
+  mutable oc : out_channel option;
+}
+
+type t = { sh : shared; base : int }
+
+let magic = "doda-checkpoint 1"
+
+let check_text what s =
+  if String.exists (fun c -> c = '\n' || c = '\r') s then
+    invalid_arg (Printf.sprintf "Checkpoint: %s must not contain newlines" what)
+
+let parse_entry line =
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some sp -> (
+      match int_of_string_opt (String.sub line 0 sp) with
+      | Some slot when slot >= 0 ->
+          Some (slot, String.sub line (sp + 1) (String.length line - sp - 1))
+      | Some _ | None -> None)
+
+(* Load a compatible existing file into [tbl]; false if absent or its
+   key does not match (caller restarts the file). Only lines committed
+   with their terminating newline count — a trailing fragment from a
+   mid-write crash is invisible to [input_line], so the file is read
+   raw and truncated at its last newline first. Loading stops at the
+   first malformed line: everything after a torn write is
+   unreliable. *)
+let load path key tbl =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+      let content =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> In_channel.input_all ic)
+      in
+      let committed =
+        match String.rindex_opt content '\n' with
+        | None -> ""
+        | Some i -> String.sub content 0 i
+      in
+      (match String.split_on_char '\n' committed with
+      | header :: entries when header = magic ^ " " ^ key ->
+          let rec absorb = function
+            | [] -> ()
+            | line :: rest -> (
+                match parse_entry line with
+                | Some (slot, payload) ->
+                    Hashtbl.replace tbl slot payload;
+                    absorb rest
+                | None -> ())
+          in
+          absorb entries;
+          true
+      | _ -> false)
+
+let create ~path ~key =
+  check_text "key" key;
+  let path = Scratch.resolve path in
+  let dir = Filename.dirname path in
+  if dir <> "." then Csv.mkdir_p dir;
+  let done_tbl = Hashtbl.create 64 in
+  let resumed = load path key done_tbl in
+  let oc =
+    if resumed then
+      open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+    else begin
+      let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 path in
+      output_string oc (magic ^ " " ^ key ^ "\n");
+      flush oc;
+      oc
+    end
+  in
+  (* Re-append entries salvaged before a torn line, so the file is
+     whole again after a resume even if nothing new is recorded. *)
+  if resumed && Hashtbl.length done_tbl > 0 then begin
+    let entries =
+      List.sort compare (Hashtbl.fold (fun s p acc -> (s, p) :: acc) done_tbl [])
+    in
+    close_out oc;
+    let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 path in
+    output_string oc (magic ^ " " ^ key ^ "\n");
+    List.iter
+      (fun (s, p) -> output_string oc (Printf.sprintf "%d %s\n" s p))
+      entries;
+    flush oc;
+    { sh = { path; key; lock = Mutex.create (); done_tbl; oc = Some oc }; base = 0 }
+  end
+  else
+    { sh = { path; key; lock = Mutex.create (); done_tbl; oc = Some oc }; base = 0 }
+
+let path t = t.sh.path
+let sub t ~base =
+  if base < 0 then invalid_arg "Checkpoint.sub: negative base";
+  { t with base = t.base + base }
+
+let find t slot =
+  Mutex.protect t.sh.lock (fun () ->
+      Hashtbl.find_opt t.sh.done_tbl (t.base + slot))
+
+let completed t =
+  Mutex.protect t.sh.lock (fun () -> Hashtbl.length t.sh.done_tbl)
+
+let record t slot payload =
+  if slot < 0 then invalid_arg "Checkpoint.record: negative slot";
+  check_text "payload" payload;
+  let abs = t.base + slot in
+  Mutex.protect t.sh.lock (fun () ->
+      match t.sh.oc with
+      | None -> invalid_arg "Checkpoint.record: checkpoint is closed"
+      | Some oc ->
+          output_string oc (Printf.sprintf "%d %s\n" abs payload);
+          flush oc;
+          Hashtbl.replace t.sh.done_tbl abs payload)
+
+let close t =
+  Mutex.protect t.sh.lock (fun () ->
+      match t.sh.oc with
+      | None -> ()
+      | Some oc ->
+          close_out_noerr oc;
+          t.sh.oc <- None)

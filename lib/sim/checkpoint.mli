@@ -1,0 +1,54 @@
+(** Resumable sweep snapshots: an append-only, crash-tolerant record
+    of finished replication slots, so a huge run survives interruption
+    and resumes {e bit-identically}.
+
+    Per-replication PRNG streams are never stored: they are recomputed
+    on resume by {!Experiment.split_seeds}, which is deterministic in
+    slot order. A checkpoint therefore only needs each finished slot's
+    index and result payload; unfinished slots simply re-run from
+    their recomputed stream, producing the same draws as the
+    interrupted attempt would have.
+
+    The file is keyed: {!create} compares the stored key against the
+    caller's (which should encode every parameter shaping the sweep)
+    and silently restarts the file on mismatch, so stale checkpoints
+    cannot leak results into a differently-shaped run. A torn final
+    line from a mid-write crash is dropped and its slot re-run.
+
+    Handles are safe to use from pool worker domains: the channel and
+    the completed-slot table are mutex-guarded, and every record is
+    flushed before the slot is considered done. *)
+
+type t
+
+val create : path:string -> key:string -> t
+(** Open-or-resume the checkpoint at [path] ({!Scratch.resolve}d, so
+    relative paths honour [DODA_SCRATCH]; parent directories are
+    created). An existing file with a matching [key] is loaded and
+    appended to; anything else is restarted empty.
+    @raise Invalid_argument if [key] contains a newline. *)
+
+val path : t -> string
+(** The resolved on-disk path. *)
+
+val sub : t -> base:int -> t
+(** A view whose slot [k] is the parent's slot [base + k] — same
+    file, same lock. Lets one checkpoint span a multi-point sweep:
+    give point [i] of a sweep with [r] replications the view
+    [sub cp ~base:(i * r)]. *)
+
+val find : t -> int -> string option
+(** The recorded payload of a finished slot, if any. *)
+
+val record : t -> int -> string -> unit
+(** [record t slot payload] appends and flushes the slot's result.
+    @raise Invalid_argument on a negative slot, a payload containing a
+    newline, or a closed checkpoint. *)
+
+val completed : t -> int
+(** Finished slots in the whole file (not restricted to a {!sub}
+    view). *)
+
+val close : t -> unit
+(** Close the underlying channel (idempotent). Views from {!sub}
+    share the channel: closing any closes all. *)

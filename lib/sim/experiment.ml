@@ -124,20 +124,71 @@ let of_results ~label ~n results =
     results;
   { label; n; samples = Array.of_list (List.rev !samples); failures = !failures }
 
+(* Measurement from slot-ordered duration options: same fold as
+   [of_results], without requiring full engine results (checkpointed
+   slots only persist the duration). *)
+let of_durations ~label ~n durations =
+  let samples = ref [] in
+  let failures = ref 0 in
+  Array.iter
+    (function
+      | Some d -> samples := float_of_int (d + 1) :: !samples
+      | None -> incr failures)
+    durations;
+  { label; n; samples = Array.of_list (List.rev !samples); failures = !failures }
+
+(* Checkpoint payloads for factory sweeps: the duration option of the
+   finished run. *)
+let encode_duration = function Some d -> "d" ^ string_of_int d | None -> "f"
+
+let decode_duration payload =
+  if payload = "f" then Some None
+  else if String.length payload > 1 && payload.[0] = 'd' then
+    match int_of_string_opt (String.sub payload 1 (String.length payload - 1)) with
+    | Some d -> Some (Some d)
+    | None -> None
+  else None
+
 let run_schedule_factory ?pool ?jobs ?(telemetry = Instrument.disabled)
-    ?(replications = 20) ?(seed = 42) ~max_steps ~label ~n factory algo =
-  let results =
-    dispatch_instrumented ?pool ?jobs ~telemetry
-      (fun tel rng ->
-        let observers = Instrument.engine_observers tel in
-        Instrument.with_span tel "replicate" (fun () ->
-            let sched =
-              Instrument.with_span tel "schedule/build" (fun () -> factory rng)
-            in
-            Engine.run ~record:`Count ~max_steps ~observers algo sched))
-      (split_seeds ~replications ~seed)
+    ?checkpoint ?(replications = 20) ?(seed = 42) ~max_steps ~label ~n factory
+    algo =
+  (* Streams are pre-split in slot order whether or not a slot is
+     cached, so a resumed sweep hands every slot exactly the stream an
+     uninterrupted run would have — the bit-identical resume. *)
+  let seeds = split_seeds ~replications ~seed in
+  let cached =
+    match checkpoint with
+    | None -> [||]
+    | Some cp ->
+        Array.init replications (fun slot ->
+            match Checkpoint.find cp slot with
+            | None -> None
+            | Some payload -> decode_duration payload)
   in
-  of_results ~label ~n results
+  let durations =
+    dispatch_instrumented ?pool ?jobs ~telemetry
+      (fun tel slot ->
+        match if cached = [||] then None else cached.(slot) with
+        | Some duration -> duration
+        | None ->
+            let rng = seeds.(slot) in
+            let observers = Instrument.engine_observers tel in
+            let result =
+              Instrument.with_span tel "replicate" (fun () ->
+                  let sched =
+                    Instrument.with_span tel "schedule/build" (fun () ->
+                        factory rng)
+                  in
+                  Engine.run ~record:`Count ~max_steps ~observers algo sched)
+            in
+            (match checkpoint with
+            | Some cp ->
+                Checkpoint.record cp slot (encode_duration result.duration)
+            | None -> ());
+            result.Engine.duration)
+      (Array.init replications Fun.id)
+  in
+  of_durations ~label ~n durations
 
 let run_uniform ?pool ?jobs ?telemetry ?replications ?seed ?(sink = 0)
     ?max_steps ~n (algo : Doda_core.Algorithm.t) =

@@ -102,6 +102,7 @@ val run_uniform :
 
 val run_schedule_factory :
   ?pool:Pool.t -> ?jobs:int -> ?telemetry:Doda_obs.Instrument.t ->
+  ?checkpoint:Checkpoint.t ->
   ?replications:int -> ?seed:int -> max_steps:int ->
   label:string -> n:int ->
   (Doda_prng.Prng.t -> Doda_dynamic.Schedule.t) ->
@@ -115,7 +116,15 @@ val run_schedule_factory :
     ([engine.steps], [engine.transmissions], [engine.duration], ...)
     to every run, with the same determinism guarantee as
     {!replicate_par}. Samples and failures are unaffected by
-    telemetry. *)
+    telemetry.
+
+    [checkpoint] makes the sweep resumable: each finished
+    replication's duration is recorded (and flushed) under its slot
+    index, recorded slots are skipped on the next run, and re-run
+    slots receive {e the same} pre-split streams — so interrupt +
+    resume yields the measurement bit-identical to an uninterrupted
+    run. Telemetry of skipped slots is not replayed (counters cover
+    only the work actually performed this run). *)
 
 val replicate_duels :
   ?pool:Pool.t -> ?jobs:int -> ?knowledge:Doda_core.Knowledge.t ->

@@ -1,0 +1,14 @@
+(* DODA_SCRATCH redirection: CI and huge runs should not write bench
+   CSVs, JSON archives or checkpoints into the repo tree. Relative
+   output paths are rooted under $DODA_SCRATCH when it is set;
+   absolute paths and unset environments pass through untouched. *)
+
+let dir () =
+  match Sys.getenv_opt "DODA_SCRATCH" with
+  | Some d when String.length d > 0 -> Some d
+  | Some _ | None -> None
+
+let resolve path =
+  match dir () with
+  | Some d when Filename.is_relative path -> Filename.concat d path
+  | Some _ | None -> path

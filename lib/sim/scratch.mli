@@ -1,0 +1,11 @@
+(** [DODA_SCRATCH] output redirection, so CI and huge runs keep
+    generated artifacts (bench CSV directories, JSON archives,
+    checkpoints) out of the repo tree. *)
+
+val dir : unit -> string option
+(** The scratch root: [$DODA_SCRATCH] when set and non-empty. *)
+
+val resolve : string -> string
+(** [resolve path] roots a {e relative} [path] under the scratch dir
+    when one is configured; absolute paths, and every path when
+    [DODA_SCRATCH] is unset, are returned unchanged. *)

@@ -57,29 +57,40 @@ let to_string = function
 
 let is_finite = function Trace_file _ -> true | _ -> false
 
-let build t ~n ~sink ~seed =
+let build ?(stream = false) t ~n ~sink ~seed =
   let rng = Prng.create seed in
+  (* Streaming keeps the draw stream: the same generator function
+     backs an [of_fun_chunked] schedule instead of an [of_fun] one, so
+     a run differs only in memory behaviour, never in results. *)
+  let wrap gen =
+    if stream then Schedule.of_fun_chunked ~n ~sink gen
+    else Schedule.of_fun ~n ~sink gen
+  in
   match t with
-  | Uniform -> Schedule.of_fun ~n ~sink (Generators.uniform rng ~n)
+  | Uniform -> wrap (Generators.uniform rng ~n)
   | Sink_biased w ->
       let weights = Array.init n (fun v -> if v = sink then w else 1.0) in
-      Schedule.of_fun ~n ~sink (Generators.weighted_nodes rng ~weights)
-  | Round_robin -> Schedule.of_fun ~n ~sink (Generators.round_robin ~n)
-  | Waypoint -> Schedule.of_fun ~n ~sink (Mobility.random_waypoint rng ~n)
-  | Community (k, p) ->
-      Schedule.of_fun ~n ~sink (Mobility.community rng ~n ~communities:k ~p_intra:p)
-  | Grid (r, c) ->
-      Schedule.of_fun ~n ~sink (Mobility.grid_walkers rng ~n ~rows:r ~cols:c)
-  | Markov (p_on, p_off) ->
-      Schedule.of_fun ~n ~sink (Generators.markov_edges rng ~n ~p_on ~p_off)
+      wrap (Generators.weighted_nodes rng ~weights)
+  | Round_robin -> wrap (Generators.round_robin ~n)
+  | Waypoint -> wrap (Mobility.random_waypoint rng ~n)
+  | Community (k, p) -> wrap (Mobility.community rng ~n ~communities:k ~p_intra:p)
+  | Grid (r, c) -> wrap (Mobility.grid_walkers rng ~n ~rows:r ~cols:c)
+  | Markov (p_on, p_off) -> wrap (Generators.markov_edges rng ~n ~p_on ~p_off)
   | Trace_file path ->
-      let s = Trace.load path in
-      Schedule.of_sequence ~n:(Stdlib.max n (Sequence.max_node s + 1)) ~sink s
+      if stream then begin
+        let gen, length, max_node = Trace.stream path in
+        Schedule.of_fun_chunked ~length ~n:(Stdlib.max n (max_node + 1)) ~sink
+          gen
+      end
+      else
+        let s = Trace.load path in
+        Schedule.of_sequence ~n:(Stdlib.max n (Sequence.max_node s + 1)) ~sink s
 
-let schedule ?(telemetry = Doda_obs.Instrument.disabled) t ~n ~sink ~seed =
+let schedule ?(telemetry = Doda_obs.Instrument.disabled) ?stream t ~n ~sink
+    ~seed =
   (* Only build the span name when someone is listening. *)
   if Doda_obs.Instrument.enabled telemetry then
     Doda_obs.Instrument.with_span telemetry
       ("workload/" ^ to_string t)
-      (fun () -> build t ~n ~sink ~seed)
-  else build t ~n ~sink ~seed
+      (fun () -> build ?stream t ~n ~sink ~seed)
+  else build ?stream t ~n ~sink ~seed

@@ -23,13 +23,20 @@ val syntax : string
 (** The one-line syntax summary for help output. *)
 
 val schedule :
-  ?telemetry:Doda_obs.Instrument.t ->
+  ?telemetry:Doda_obs.Instrument.t -> ?stream:bool ->
   t -> n:int -> sink:int -> seed:int -> Doda_dynamic.Schedule.t
 (** Instantiate the workload. Generator-backed workloads are unbounded;
     [Trace_file] is finite and may enlarge [n] to fit the trace's node
     ids. [telemetry] (default disabled) wraps construction in a
-    ["workload/<name>"] span. @raise Sys_error / Failure on unreadable
-    or malformed trace files. *)
+    ["workload/<name>"] span.
+
+    [stream] (default [false]) builds a {e chunked} schedule instead
+    ([Schedule.of_fun_chunked], or a [Trace.stream]ed file): memory
+    stays O(block) whatever the horizon, the draw stream — and thus
+    every run result — is unchanged, but access is forward-only and
+    meet-time knowledge is unavailable (fine for Gathering/Waiting).
+    @raise Sys_error / Failure on unreadable or malformed trace
+    files. *)
 
 val is_finite : t -> bool
 (** True only for [Trace_file]. *)

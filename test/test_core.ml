@@ -552,9 +552,16 @@ let test_cost_formatting () =
 
 let test_brute_force_guard () =
   let s = seq [ (0, 1) ] in
-  Alcotest.check_raises "too large"
-    (Invalid_argument "Brute_force: n too large for subset search") (fun () ->
-      ignore (Brute_force.optimal_duration ~n:25 ~sink:0 s ~start:0))
+  Alcotest.check_raises "dense too large"
+    (Invalid_argument "Brute_force: n too large for the dense subset search")
+    (fun () -> ignore (Brute_force.optimal_duration_dense ~n:25 ~sink:0 s ~start:0));
+  Alcotest.check_raises "sparse too large"
+    (Invalid_argument "Brute_force: n too large for subset search (62-bit masks)")
+    (fun () -> ignore (Brute_force.optimal_duration ~n:62 ~sink:0 s ~start:0));
+  (* n = 25 now dispatches to the sparse backing instead of raising. *)
+  Alcotest.(check (option int)) "sparse n=25"
+    None
+    (Brute_force.optimal_duration ~n:25 ~sink:0 s ~start:0)
 
 let test_brute_force_reachable_states () =
   (* One interaction {1,2} on n=3: either nothing, 1->2, or 2->1. *)
