@@ -39,6 +39,9 @@ module Algorithms = Doda_core.Algorithms
 module Waiting_greedy = Doda_core.Waiting_greedy
 module Mobility = Doda_dynamic.Mobility
 module Gen_kernel = Doda_dynamic.Gen_kernel
+module Tvg_class = Doda_dynamic.Tvg_class
+module Problem = Doda_core.Problem
+module Gossip = Doda_core.Gossip
 module Randomized = Doda_adversary.Randomized
 module Duel = Doda_adversary.Duel
 module Counterexamples = Doda_adversary.Counterexamples
@@ -1531,6 +1534,100 @@ let scale () =
   fit "rss" !rss_points
 
 (* ------------------------------------------------------------------ *)
+(* CLASSES — the cross table: algorithm x TVG class.                   *)
+
+(* Schema 5: per-cell completion ratios (finished / replications) from
+   the CLASSES experiment, archived at the top level of
+   BENCH_results.json ([{}] when it did not run). *)
+let classes_done : (string * float) list ref = ref []
+
+let classes () =
+  header "CLASSES | algorithm x TVG class (n = 32, horizon 120000)"
+    "Each row draws schedules from a class-constrained generator\n\
+     (lib/dynamic/tvg_class.ml); the round-trip suite proves every\n\
+     generator a certified member of its own class. Aggregation\n\
+     columns are mean interactions to full aggregation over finished\n\
+     runs, the gossip column is k = n all-to-all dissemination, and\n\
+     'done' counts runs finishing within the horizon. The same seeds\n\
+     build the same schedules across a row, so columns are paired.\n\
+     bounded-recurrent schedules draw spanning-tree edges only, so\n\
+     aggregation can strand two non-adjacent token holders forever\n\
+     while gossip still covers -- that contrast is the point.";
+  let n = 32 in
+  let horizon = 120_000 in
+  let tau = Theory.recommended_tau n in
+  let schedule_of cls rng =
+    match cls with
+    | `Uniform -> Randomized.uniform_schedule rng ~n ~sink:0
+    | `T_interval w ->
+        Schedule.of_fun ~n ~sink:0 (Tvg_class.gen_t_interval rng ~n ~window:w)
+    | `Bounded b ->
+        Schedule.of_fun ~n ~sink:0
+          (Tvg_class.gen_bounded_recurrent rng ~n ~bound:b)
+  in
+  (* [durations]: per-replication completion times, [None] when the
+     run hit the horizon. *)
+  let summarize label durations =
+    let finished = List.filter_map Fun.id (Array.to_list durations) in
+    classes_done :=
+      !classes_done
+      @ [
+          ( label,
+            float_of_int (List.length finished)
+            /. float_of_int replications );
+        ];
+    let mean =
+      match finished with
+      | [] -> "-"
+      | _ ->
+          fmt
+            (Descriptive.mean
+               (Array.of_list
+                  (List.map (fun d -> float_of_int (d + 1)) finished)))
+    in
+    (mean, Printf.sprintf "%d/%d" (List.length finished) replications)
+  in
+  let t =
+    Table.create
+      ~header:
+        [
+          "class"; "waiting"; "done"; "gathering"; "done";
+          Printf.sprintf "w-greedy:%d" tau; "done"; "gossip k=n"; "done";
+        ]
+  in
+  List.iter
+    (fun (label, cls) ->
+      let agg name algo =
+        summarize
+          (name ^ "@" ^ label)
+          (Array.map
+             (fun (r : Engine.result) -> r.Engine.duration)
+             (replicate ~replications ~seed:master_seed (fun rng ->
+                  Engine.run ~record:`Count ~max_steps:horizon algo
+                    (schedule_of cls rng))))
+      in
+      let wm, wd = agg "waiting" Algorithms.waiting in
+      let gm, gd = agg "gathering" Algorithms.gathering in
+      let wgm, wgd = agg "waiting-greedy" (Algorithms.waiting_greedy ~tau) in
+      let problem = Problem.dissemination ~k:n in
+      let gom, god =
+        summarize ("gossip@" ^ label)
+          (Array.map
+             (fun (r : Gossip.result) -> r.Gossip.duration)
+             (replicate ~replications ~seed:master_seed (fun rng ->
+                  Gossip.run ~record:`Count ~max_steps:horizon ~problem
+                    (schedule_of cls rng))))
+      in
+      Table.add_row t [ label; wm; wd; gm; gd; wgm; wgd; gom; god ])
+    [
+      ("uniform", `Uniform);
+      ("t-interval:31", `T_interval 31);
+      ("t-interval:128", `T_interval 128);
+      ("bounded-recurrent:62", `Bounded 62);
+    ];
+  print_table ~name:"classes" t
+
+(* ------------------------------------------------------------------ *)
 
 let all_experiments =
   [
@@ -1541,7 +1638,7 @@ let all_experiments =
     ("exact", exact);
     ("variants", variants); ("spite", spite); ("mixed", mixed); ("price", price);
     ("policies", policies); ("gen", gen); ("micro", micro);
-    ("batch", batch); ("scale", scale);
+    ("batch", batch); ("scale", scale); ("classes", classes);
   ]
 
 (* Machine-readable archive: per-experiment wall clock plus every table
@@ -1592,7 +1689,7 @@ let write_json path results =
   Json.write path
     (Json.Obj
        [
-         ("schema", Json.Int 4);
+         ("schema", Json.Int 5);
          ("jobs", Json.Int !jobs);
          ("seed", Json.Int master_seed);
          ("replications", Json.Int replications);
@@ -1606,6 +1703,11 @@ let write_json path results =
          ( "scale_exponents",
            Json.Obj
              (List.map (fun (k, s) -> (k, Json.Float s)) !scale_fits) );
+         (* Schema 5: per-cell completion ratios from the CLASSES
+            experiment ([{}] when it did not run). *)
+         ( "classes_done",
+           Json.Obj
+             (List.map (fun (k, s) -> (k, Json.Float s)) !classes_done) );
          ("spans", Json.List spans);
          ("experiments", Json.List experiments);
        ]);

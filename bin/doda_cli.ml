@@ -6,7 +6,8 @@
      doda sweep    scaling study across n, with exponent fit
      doda generate write an interaction trace to a file
      doda analyze  offline analysis of a trace (connectivity, optimum)
-     doda list     available algorithms and adversaries *)
+     doda classify place a trace in the TVG class hierarchy
+     doda list     available algorithms, problems and adversaries *)
 
 module Prng = Doda_prng.Prng
 module Sequence = Doda_dynamic.Sequence
@@ -16,9 +17,13 @@ module Mobility = Doda_dynamic.Mobility
 module Trace = Doda_dynamic.Trace
 module Underlying = Doda_dynamic.Underlying
 module Temporal = Doda_dynamic.Temporal
+module Tvg_class = Doda_dynamic.Tvg_class
 module Static_graph = Doda_graph.Static_graph
 module Traversal = Doda_graph.Traversal
 module Engine = Doda_core.Engine
+module Problem = Doda_core.Problem
+module Gossip = Doda_core.Gossip
+module Validate = Doda_core.Validate
 module Convergecast = Doda_core.Convergecast
 module Cost = Doda_core.Cost
 module Knowledge = Doda_core.Knowledge
@@ -128,10 +133,38 @@ let find_algo name n =
 (* ------------------------------------------------------------------ *)
 (* doda run                                                            *)
 
+let gossip_run ~tel ~problem ~stream sched max_steps =
+  let n = Schedule.n sched in
+  let result =
+    Instrument.with_span tel "gossip/run" (fun () ->
+        Gossip.run ?max_steps ~problem sched)
+  in
+  Format.printf "problem: %s@." (Problem.describe problem);
+  Format.printf "%a@." Gossip.pp_result result;
+  (match Doda_sim.Analysis.mean_coverage_time ~n ~problem result with
+  | Some m -> Format.printf "mean coverage time: %.1f@." m
+  | None -> Format.printf "mean coverage time: -@.");
+  if stream then
+    Format.printf "log validation skipped (--stream keeps no prefix)@."
+  else begin
+    let prefix = Schedule.prefix sched (Schedule.materialized sched) in
+    match Validate.problem problem ~n prefix result.Gossip.log with
+    | [] -> Format.printf "transfer log validates: yes@."
+    | v :: _ ->
+        Format.printf "transfer log validates: NO (%a)@." Validate.pp_violation v
+  end
+
 let run_cmd =
-  let run algo_name n sink seed source max_steps timeline stream metrics trace =
+  let run algo_name n sink seed source max_steps timeline stream metrics trace
+      problem_str =
     let tel = telemetry_of ~resources:true ~metrics ~trace () in
-    let algo = find_algo algo_name n in
+    let problem =
+      match Problem.parse ~sink problem_str with
+      | Ok p -> p
+      | Error msg ->
+          Printf.eprintf "bad --problem: %s\n" msg;
+          exit 2
+    in
     let sched =
       schedule_of_source ~telemetry:tel ~stream source ~n ~sink ~seed
     in
@@ -141,6 +174,15 @@ let run_cmd =
       | None, Some _ -> None
       | None, None -> Some ((200 * n * n) + 10_000)
     in
+    match problem with
+    | Problem.Dissemination _ ->
+        (* Gossip has no per-algorithm strategy: both endpoints always
+           exchange everything they know. *)
+        gossip_run ~tel ~problem ~stream sched max_steps;
+        if metrics then print_string (Instrument.summary tel);
+        emit_trace tel trace
+    | Problem.Aggregation _ ->
+    let algo = find_algo algo_name n in
     let result =
       Instrument.with_span tel "engine/run" (fun () ->
           Engine.run ?max_steps ~observers:(Instrument.engine_observers tel) algo
@@ -173,11 +215,18 @@ let run_cmd =
   let timeline =
     Arg.(value & flag & info [ "timeline" ] ~doc:"Draw an ASCII execution timeline.")
   in
+  let problem_arg =
+    Arg.(
+      value & opt string "aggregation"
+      & info [ "problem" ] ~docv:"PROBLEM"
+          ~doc:("Problem to solve: " ^ Problem.syntax ^ ". gossip:K runs k-token \
+                 all-to-all dissemination (ignores --algorithm)."))
+  in
   let term = Term.(const run $ algo_arg $ n_arg $ sink_arg $ seed_arg $ source_arg
                    $ max_steps_arg $ timeline $ stream_flag $ metrics_flag
-                   $ trace_arg)
+                   $ trace_arg $ problem_arg)
   in
-  Cmd.v (Cmd.info "run" ~doc:"Run one algorithm against one interaction source.") term
+  Cmd.v (Cmd.info "run" ~doc:"Run one problem against one interaction source.") term
 
 (* ------------------------------------------------------------------ *)
 (* doda duel                                                           *)
@@ -423,6 +472,66 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Offline analysis of an interaction trace.") term
 
 (* ------------------------------------------------------------------ *)
+(* doda classify                                                       *)
+
+let classify_cmd =
+  let yes_no = function
+    | Ok () -> "yes"
+    | Error w -> Format.asprintf "no (%a)" Tvg_class.pp_witness w
+  in
+  let classify path window bound =
+    let s = Trace.load path in
+    let n = Sequence.max_node s + 1 in
+    let sum = Tvg_class.summarize ~n s in
+    Format.printf "trace: %s@.nodes: %d, interactions: %d@." path sum.nodes
+      sum.length;
+    Format.printf "footprint: %d edges, %s@." sum.footprint_edges
+      (if sum.footprint_connected then "connected" else "disconnected");
+    Format.printf "temporal: %s@." (yes_no sum.temporal);
+    Format.printf "recurrent: %s@." (yes_no sum.recurrent);
+    (match sum.min_window with
+    | Some w -> Format.printf "smallest power-of-two t-interval window: %d@." w
+    | None -> Format.printf "t-interval: no window up to the trace length@.");
+    (match sum.min_bound with
+    | Some b -> Format.printf "smallest bounded-recurrent bound: %d@." b
+    | None -> Format.printf "bounded-recurrent: empty trace@.");
+    let check cls =
+      Format.printf "%s: %s@."
+        (match cls with
+        | Tvg_class.T_interval w -> Printf.sprintf "t-interval(%d)" w
+        | Tvg_class.Bounded_recurrent b -> Printf.sprintf "bounded-recurrent(%d)" b
+        | c -> Tvg_class.to_string c)
+        (yes_no (Tvg_class.validate ~n cls s))
+    in
+    Option.iter (fun w -> check (Tvg_class.T_interval w)) window;
+    Option.iter (fun b -> check (Tvg_class.Bounded_recurrent b)) bound
+  in
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
+  in
+  let window =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window" ] ~docv:"W"
+          ~doc:"Also check membership in t-interval:$(docv) explicitly.")
+  in
+  let bound =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "bound" ] ~docv:"B"
+          ~doc:"Also check membership in bounded-recurrent:$(docv) explicitly.")
+  in
+  let term = Term.(const classify $ path $ window $ bound) in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:
+         "Place an interaction trace in the TVG class hierarchy (temporal, \
+          T-interval connectivity, recurrent, time-bounded recurrent).")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* doda list                                                           *)
 
 let list_cmd =
@@ -430,6 +539,8 @@ let list_cmd =
     Format.printf "algorithms:@.";
     List.iter (fun name -> Format.printf "  %s@." name) Algorithms.names;
     Format.printf "sources: %s@." Workload.syntax;
+    Format.printf "problems (doda run --problem): %s@." Problem.syntax;
+    Format.printf "TVG classes (doda classify): %s@." Tvg_class.syntax;
     Format.printf "adaptive adversaries (doda duel): thm1, thm3, spiteful@.";
     Format.printf "recommended tau at n=128: %d@." (Theory.recommended_tau 128)
   in
@@ -441,5 +552,9 @@ let () =
     Cmd.info "doda" ~version:"1.0.0"
       ~doc:"Distributed online data aggregation in dynamic graphs (ICDCS 2016)."
   in
-  let group = Cmd.group info [ run_cmd; duel_cmd; sweep_cmd; generate_cmd; analyze_cmd; list_cmd ] in
+  let group =
+    Cmd.group info
+      [ run_cmd; duel_cmd; sweep_cmd; generate_cmd; analyze_cmd; classify_cmd;
+        list_cmd ]
+  in
   exit (Cmd.eval group)

@@ -80,6 +80,10 @@ let run_reps ?max_steps ?(record = `All) ?rngs ?(stats = fresh_stats ())
   in
   let limit = limit_for ?max_steps schedule ~what:"Batch_engine.run_reps" in
   let n = Schedule.n schedule and sink = Schedule.sink schedule in
+  (* Success criterion from the problem family, not hard-coded: the
+     batch executes single-sink aggregation, whose target owner count
+     is [Problem.target_owners]. *)
+  let target = Problem.target_owners (Problem.aggregation ~sink) in
   let w = (r + word_bits - 1) / word_bits in
   (* Plane word [v * w + word]: bit [b] set iff node [v] still holds
      data in replication [word * word_bits + b]. *)
@@ -88,12 +92,12 @@ let run_reps ?max_steps ?(record = `All) ?rngs ?(stats = fresh_stats ())
   for word = 0 to w - 1 do
     let k = Stdlib.min word_bits (r - (word * word_bits)) in
     let full = mask_of k in
-    if n > 1 then live.(word) <- full;
+    if n > target then live.(word) <- full;
     for v = 0 to n - 1 do
       planes.((v * w) + word) <- full
     done
   done;
-  let alive = ref (if n > 1 then r else 0) in
+  let alive = ref (if n > target then r else 0) in
   let owners = Array.make r n in
   let tx = Array.make r 0 in
   let last_time = Array.make r (-1) in
@@ -130,7 +134,7 @@ let run_reps ?max_steps ?(record = `All) ?rngs ?(stats = fresh_stats ())
       tx.(rep) <- tx.(rep) + 1;
       last_time.(rep) <- t;
       if record_all then Run_log.add logs.(rep) ~time:t ~sender:s ~receiver:rcv;
-      if owners.(rep) = 1 then begin
+      if owners.(rep) = target then begin
         live.(word) <- live.(word) land lnot bit;
         decr alive
       end
@@ -322,7 +326,7 @@ let run_reps ?max_steps ?(record = `All) ?rngs ?(stats = fresh_stats ())
       done);
   let final_clock = !t in
   Array.init r (fun rep ->
-      let aggregated = owners.(rep) = 1 in
+      let aggregated = owners.(rep) = target in
       let word = rep / word_bits and bit = 1 lsl (rep mod word_bits) in
       {
         Engine.stop = stop_for schedule ~final_clock ~aggregated;
@@ -347,6 +351,7 @@ type lane =
 let sweep_chunk ?max_steps ~record ~stats algos schedule =
   let limit = limit_for ?max_steps schedule ~what:"Batch_engine.sweep" in
   let n = Schedule.n schedule and sink = Schedule.sink schedule in
+  let target = Problem.target_owners (Problem.aggregation ~sink) in
   let lanes = Array.of_list algos in
   let l = Array.length lanes in
   let names = Array.map (fun (a : Algorithm.t) -> a.Algorithm.name) lanes in
@@ -387,8 +392,8 @@ let sweep_chunk ?max_steps ~record ~stats algos schedule =
   let full = mask_of l in
   (* planes.(v) bit [lane]: node [v] still holds data in that lane. *)
   let planes = Array.make n full in
-  let live = ref (if n > 1 then full else 0) in
-  let alive = ref (if n > 1 then l else 0) in
+  let live = ref (if n > target then full else 0) in
+  let alive = ref (if n > target then l else 0) in
   let owners = Array.make l n in
   let tx = Array.make l 0 in
   let last_time = Array.make l (-1) in
@@ -527,7 +532,7 @@ let sweep_chunk ?max_steps ~record ~stats algos schedule =
             last_time.(lane) <- time;
             if record_all then
               Run_log.add logs.(lane) ~time ~sender:s ~receiver:rcv;
-            if owners.(lane) = 1 then begin
+            if owners.(lane) = target then begin
               live := !live land lnot bit;
               decr alive
             end
@@ -537,7 +542,7 @@ let sweep_chunk ?max_steps ~record ~stats algos schedule =
   done;
   let final_clock = !t in
   Array.init l (fun lane ->
-      let aggregated = owners.(lane) = 1 in
+      let aggregated = owners.(lane) = target in
       let bit = 1 lsl lane in
       {
         Engine.stop = stop_for schedule ~final_clock ~aggregated;

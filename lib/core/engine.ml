@@ -33,7 +33,12 @@ type state = {
   algo_name : string;
   source : state -> Interaction.t option;
   instance : Algorithm.instance;
-  sink : int;
+  problem : Problem.t;
+  sink : int;  (* [Problem.sink problem], hoisted for the hot path *)
+  target : int;
+      (* [Problem.target_owners problem]: the owner count at which the
+         run has succeeded — also hoisted, the loops test it once per
+         interaction. *)
   record_log : bool;
   holds : bool array;
   step_obs : (time:int -> Interaction.t -> unit) array;
@@ -52,17 +57,23 @@ type state = {
   mutable last_receiver : int;
 }
 
-let make_state ~algo_name ~instance ~sink ~record ~observers ~source ~n =
+let make_state ~algo_name ~instance ~problem ~record ~observers ~source ~n =
   let step_obs =
     Array.of_list (List.filter_map (fun o -> o.obs_step) observers)
+  in
+  let holds = Problem.initial_holders problem ~n in
+  let owner_count =
+    Array.fold_left (fun acc h -> if h then acc + 1 else acc) 0 holds
   in
   {
     algo_name;
     source;
     instance;
-    sink;
+    problem;
+    sink = Problem.sink problem;
+    target = Problem.target_owners problem;
     record_log = (record = `All);
-    holds = Array.make n true;
+    holds;
     step_obs;
     transmit_obs =
       Array.of_list (List.filter_map (fun o -> o.obs_transmit) observers);
@@ -72,7 +83,7 @@ let make_state ~algo_name ~instance ~sink ~record ~observers ~source ~n =
     (* Transmit-once bounds a run's transmissions by [n - 1], so the
        log never reallocates mid-run. *)
     log = Run_log.create ~capacity:n ();
-    owner_count = n;
+    owner_count;
     clock = 0;
     tx_count = 0;
     last_time = -1;
@@ -92,7 +103,7 @@ let start ?knowledge ?(record = `All) ?(observers = []) (algo : Algorithm.t)
   Algorithm.check_knowledge algo.name knowledge algo.requires;
   make_state ~algo_name:algo.name
     ~instance:(algo.make ~n ~sink knowledge)
-    ~sink ~record ~observers
+    ~problem:(Problem.aggregation ~sink) ~record ~observers
     ~source:(fun st -> Schedule.get schedule st.clock)
     ~n
 
@@ -104,7 +115,8 @@ let start_source ?(knowledge = Knowledge.empty) ?record ?observers ~n ~sink
   Algorithm.check_knowledge algo.name knowledge algo.requires;
   make_state ~algo_name:algo.name
     ~instance:(algo.make ~n ~sink knowledge)
-    ~sink ~record:(Option.value record ~default:`All)
+    ~problem:(Problem.aggregation ~sink)
+    ~record:(Option.value record ~default:`All)
     ~observers:(Option.value observers ~default:[])
     ~source ~n
 
@@ -164,7 +176,7 @@ let[@inline] exec_step st (instance : Algorithm.instance) holds ~t i =
   st.clock <- t + 1
 
 let step st =
-  if st.owner_count = 1 then Finished All_aggregated
+  if st.owner_count <= st.target then Finished All_aggregated
   else
     match st.source st with
     | None -> Finished Schedule_exhausted
@@ -183,6 +195,7 @@ let step st =
 
 let time st = st.clock
 let owners st = st.owner_count
+let problem st = st.problem
 let owns st v = st.holds.(v)
 let holders_snapshot st = Array.copy st.holds
 let live_holders st = st.holds
@@ -235,7 +248,7 @@ let run ?knowledge ?max_steps ?record ?observers (algo : Algorithm.t) schedule =
   | Some seq ->
       (* Finite or frozen: [limit <= length], so iterate the backing
          flat packed int array directly — no per-step dispatch. *)
-      while st.owner_count > 1 && st.clock < limit do
+      while st.owner_count > st.target && st.clock < limit do
         let t = st.clock in
         exec_step st instance holds ~t (Doda_dynamic.Sequence.unsafe_get seq t)
       done
@@ -243,11 +256,11 @@ let run ?knowledge ?max_steps ?record ?observers (algo : Algorithm.t) schedule =
       (* Chunked: drain the hot block with a flat inner loop — the
          only per-step work beyond [exec_step] is one array read — and
          pay the refill once per block via [chunk_view]. *)
-      while st.owner_count > 1 && st.clock < limit do
+      while st.owner_count > st.target && st.clock < limit do
         let block, off, avail = Schedule.chunk_view schedule st.clock in
         let base = st.clock in
         let stop = Stdlib.min limit (base + avail) in
-        while st.owner_count > 1 && st.clock < stop do
+        while st.owner_count > st.target && st.clock < stop do
           let t = st.clock in
           exec_step st instance holds ~t
             (Interaction.of_int_unchecked
@@ -257,12 +270,12 @@ let run ?knowledge ?max_steps ?record ?observers (algo : Algorithm.t) schedule =
   | None ->
       (* Generator: the allocation-free [Schedule.get_exn] materialises
          as it goes. *)
-      while st.owner_count > 1 && st.clock < limit do
+      while st.owner_count > st.target && st.clock < limit do
         let t = st.clock in
         exec_step st instance holds ~t (Schedule.get_exn schedule t)
       done);
   let reason =
-    if st.owner_count = 1 then All_aggregated
+    if st.owner_count <= st.target then All_aggregated
     else
       match Schedule.length schedule with
       | Some len when st.clock >= len -> Schedule_exhausted
@@ -274,7 +287,7 @@ let run_state st ~max_steps =
   let instance = st.instance and holds = st.holds in
   let stop = ref None in
   while !stop = None do
-    if st.owner_count = 1 then stop := Some All_aggregated
+    if st.owner_count <= st.target then stop := Some All_aggregated
     else if st.clock >= max_steps then stop := Some Step_limit
     else
       match st.source st with

@@ -158,6 +158,12 @@ val time : state -> int
 val owners : state -> int
 (** Nodes currently owning data. *)
 
+val problem : state -> Problem.t
+(** The problem this run executes — always [Problem.Aggregation] for
+    this engine (the termination predicate, initial ownership and
+    success criterion are read from it; {!Gossip} is the run-core for
+    [Dissemination]). *)
+
 val owns : state -> int -> bool
 
 val holders_snapshot : state -> bool array

@@ -9,6 +9,7 @@ type violation =
   | Receiver_without_data of int
   | Sink_transmitted of int
   | Duplicate_sender of int
+  | Uninformative of int
 
 let pp_violation ppf v =
   let p fmt = Format.fprintf ppf fmt in
@@ -20,6 +21,7 @@ let pp_violation ppf v =
   | Receiver_without_data i -> p "transmission #%d: receiver already transmitted" i
   | Sink_transmitted i -> p "transmission #%d: sink as sender" i
   | Duplicate_sender i -> p "transmission #%d: sender transmits twice" i
+  | Uninformative i -> p "transfer #%d taught the receiver nothing" i
 
 let execution ~n ~sink s (log : Run_log.t) =
   let len = Run_log.length log in
@@ -81,6 +83,99 @@ let complete ~n ~sink s (log : Run_log.t) =
     if v <> sink && not sent.(v) then all := false
   done;
   !all
+
+(* ------------------------------------------------------------------ *)
+(* Gossip (dissemination) validation: replay the informative-transfer
+   log over per-token knowledge sets. A [Gossip] run logs a transfer
+   only when the receiver learns at least one new token, and knowledge
+   only changes on logged transfers, so replaying the log alone
+   reconstructs every node's knowledge exactly. *)
+
+let word_bits = 63
+let mask_of k = if k >= word_bits then -1 else (1 lsl k) - 1
+
+let gossip_seed ~n problem =
+  let k = Problem.tokens problem in
+  let w = (k + word_bits - 1) / word_bits in
+  let planes = Array.make (n * w) 0 in
+  for j = 0 to k - 1 do
+    let home = Problem.token_home problem ~n ~token:j in
+    planes.((home * w) + (j / word_bits)) <-
+      planes.((home * w) + (j / word_bits)) lor (1 lsl (j mod word_bits))
+  done;
+  (w, planes)
+
+let gossip ~n ~problem s (log : Run_log.t) =
+  let w, planes = gossip_seed ~n problem in
+  let len = Run_log.length log in
+  let violations = ref [] in
+  let flag v = violations := v :: !violations in
+  let previous_time = ref (-1) in
+  let slen = Sequence.length s in
+  for idx = 0 to len - 1 do
+    let time = Run_log.time log idx
+    and sender = Run_log.sender log idx
+    and receiver = Run_log.receiver log idx in
+    (* Two transfers of one interaction (one per direction) share a
+       time, so only strictly decreasing times are out of order. *)
+    if time < !previous_time then flag (Out_of_order idx);
+    previous_time := Stdlib.max !previous_time time;
+    if time < 0 || time >= slen then flag (Bad_time idx)
+    else begin
+      let i = Sequence.get s time in
+      if
+        not
+          (Interaction.involves i sender
+          && Interaction.involves i receiver
+          && sender <> receiver)
+      then flag (Wrong_interaction idx)
+    end;
+    if sender >= 0 && sender < n && receiver >= 0 && receiver < n then begin
+      let bs = sender * w and br = receiver * w in
+      let informative = ref false in
+      for word = 0 to w - 1 do
+        let merged = planes.(br + word) lor planes.(bs + word) in
+        if merged <> planes.(br + word) then begin
+          informative := true;
+          planes.(br + word) <- merged
+        end
+      done;
+      if not !informative then flag (Uninformative idx)
+    end
+  done;
+  List.rev !violations
+
+let gossip_complete ~n ~problem s log =
+  gossip ~n ~problem s log = []
+  &&
+  let k = Problem.tokens problem in
+  let w, planes = gossip_seed ~n problem in
+  Run_log.iter
+    (fun ~time:_ ~sender ~receiver ->
+      if sender >= 0 && sender < n && receiver >= 0 && receiver < n then
+        for word = 0 to w - 1 do
+          planes.((receiver * w) + word) <-
+            planes.((receiver * w) + word) lor planes.((sender * w) + word)
+        done)
+    log;
+  let all = ref true in
+  for v = 0 to n - 1 do
+    for word = 0 to w - 1 do
+      let full = mask_of (Stdlib.min word_bits (k - (word * word_bits))) in
+      if planes.((v * w) + word) <> full then all := false
+    done
+  done;
+  !all
+
+let problem p ~n s log =
+  match p with
+  | Problem.Aggregation { sink } -> execution ~n ~sink s log
+  | Problem.Dissemination _ -> gossip ~n ~problem:p s log
+
+let problem_complete p ~n s log =
+  match p with
+  | Problem.Aggregation { sink } -> complete ~n ~sink s log
+  | Problem.Dissemination _ -> gossip_complete ~n ~problem:p s log
 
 let plan ~n ~sink s (p : Convergecast.plan) =
   let entries = ref [] in

@@ -14,6 +14,9 @@ type violation =
   | Receiver_without_data of int  (** receiver had already transmitted *)
   | Sink_transmitted of int
   | Duplicate_sender of int  (** node transmits a second time *)
+  | Uninformative of int
+      (** gossip transfer that taught the receiver nothing — a
+          {!Gossip} log only records informative transfers *)
 
 val pp_violation : Format.formatter -> violation -> unit
 
@@ -27,6 +30,33 @@ val execution :
 val complete :
   n:int -> sink:int -> Doda_dynamic.Sequence.t -> Run_log.t -> bool
 (** Valid {e and} every non-sink node transmitted — a full aggregation. *)
+
+val gossip :
+  n:int ->
+  problem:Problem.t ->
+  Doda_dynamic.Sequence.t ->
+  Run_log.t ->
+  violation list
+(** [gossip ~n ~problem s log] replays a {!Gossip} informative-transfer
+    log: times in order (equal times allowed — one interaction can log
+    one transfer per direction), endpoints matching [I_t], and every
+    transfer informative under the replayed per-token knowledge.
+    @raise Invalid_argument if [problem] is not [Dissemination]. *)
+
+val gossip_complete :
+  n:int -> problem:Problem.t -> Doda_dynamic.Sequence.t -> Run_log.t -> bool
+(** Valid {e and} the replayed knowledge covers all [k] tokens at every
+    node — a full dissemination. *)
+
+val problem :
+  Problem.t -> n:int -> Doda_dynamic.Sequence.t -> Run_log.t -> violation list
+(** Dispatch on the problem family: {!execution} for [Aggregation]
+    (including the duplicate-sender check), {!gossip} for
+    [Dissemination]. *)
+
+val problem_complete :
+  Problem.t -> n:int -> Doda_dynamic.Sequence.t -> Run_log.t -> bool
+(** {!complete} or {!gossip_complete}, by problem family. *)
 
 val plan :
   n:int -> sink:int -> Doda_dynamic.Sequence.t -> Convergecast.plan -> violation list

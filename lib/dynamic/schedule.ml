@@ -183,16 +183,22 @@ let ensure t upto =
    strictly-forward contract. Decoding whole blocks means the
    generator may run up to one block ahead of the highest time read —
    still exactly once per index, in increasing order. *)
-let chunk_advance c time =
+let chunk_advance ~op c time =
   if time < c.c_base then
     invalid_arg
       (Printf.sprintf
-         "Schedule: chunked schedules are forward-only (time %d is before \
-          the current block at %d)"
-         time c.c_base);
+         "Schedule.%s: chunked schedules are forward-only (time %d is before \
+          the current block at %d, whose entries were discarded); rewinding \
+          needs a replayable schedule — rebuild without --stream, e.g. \
+          of_fun or a frozen prefix instead of of_fun_chunked"
+         op time c.c_base);
   (match c.c_length with
   | Some l when time >= l ->
-      invalid_arg "Schedule: past the end of a finite chunked schedule"
+      invalid_arg
+        (Printf.sprintf
+           "Schedule.%s: time %d is past the end of a finite chunked \
+            schedule of length %d"
+           op time l)
   | _ -> ());
   while time >= c.c_base + c.c_len do
     let base = c.c_base + c.c_len in
@@ -211,8 +217,8 @@ let chunk_advance c time =
     c.c_len <- cap
   done
 
-let chunk_get c time =
-  chunk_advance c time;
+let chunk_get ~op c time =
+  chunk_advance ~op c time;
   Interaction.of_int_unchecked (Array.unsafe_get c.c_block (time - c.c_base))
 
 let is_chunked = function Chunked _ -> true | Live _ | Frozen _ -> false
@@ -221,7 +227,7 @@ let chunk_view sched time =
   match sched with
   | Chunked c ->
       if time < 0 then invalid_arg "Schedule.chunk_view: negative time";
-      chunk_advance c time;
+      chunk_advance ~op:"chunk_view" c time;
       let off = time - c.c_base in
       (c.c_block, off, c.c_len - off)
   | Live _ | Frozen _ ->
@@ -243,7 +249,7 @@ let get sched time =
   | Chunked c -> (
       match c.c_length with
       | Some l when time >= l -> None
-      | _ -> Some (chunk_get c time))
+      | _ -> Some (chunk_get ~op:"get" c time))
 
 (* Allocation-free variant of [get]: the engine's hot loop calls this
    once per interaction, so no option wrapper. *)
@@ -261,7 +267,7 @@ let get_exn sched time =
   | Frozen f ->
       if time < Sequence.length f.f_seq then Sequence.get f.f_seq time
       else invalid_arg "Schedule.get_exn: past the end of a finite schedule"
-  | Chunked c -> chunk_get c time
+  | Chunked c -> chunk_get ~op:"get_exn" c time
 
 let backing = function
   | Live { source = Finite s; _ } -> Some s
@@ -416,7 +422,7 @@ let stepper_get st time =
   | Frozen f ->
       if time < Sequence.length f.f_seq then Sequence.unsafe_get f.f_seq time
       else invalid_arg "Schedule.stepper_get: past the end"
-  | Chunked c -> chunk_get c time
+  | Chunked c -> chunk_get ~op:"stepper_get" c time
   | Live t -> (
       match t.source with
       | Finite s ->

@@ -97,7 +97,9 @@ val get : t -> int -> Interaction.t option
 
 val get_exn : t -> int -> Interaction.t
 (** @raise Invalid_argument past the end of a finite schedule, or on a
-    chunked-schedule rewind. *)
+    chunked-schedule rewind. Chunked-schedule errors name the failing
+    operation and point at a replayable alternative (rebuild without
+    [--stream]). *)
 
 val backing : t -> Sequence.t option
 (** The full backing sequence of a finite or frozen schedule, no copy —

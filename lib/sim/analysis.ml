@@ -71,3 +71,64 @@ let mean_delivery_time ~n ~sink r =
 
 let max_hops ~n ~sink r =
   Array.fold_left Stdlib.max 0 (hop_counts ~n ~sink r)
+
+(* ------------------------------------------------------------------ *)
+(* Dissemination (gossip) counterparts. A {!Doda_core.Gossip} log
+   records every informative transfer and knowledge changes only on
+   those, so replaying the log over bit-planes reconstructs each
+   node's knowledge history exactly. *)
+
+let word_bits = 63
+let mask_of k = if k >= word_bits then -1 else (1 lsl k) - 1
+
+let coverage_times ~n ~problem (r : Doda_core.Gossip.result) =
+  let k = Doda_core.Problem.tokens problem in
+  let w = (k + word_bits - 1) / word_bits in
+  let planes = Array.make (n * w) 0 in
+  for j = 0 to k - 1 do
+    let home = Doda_core.Problem.token_home problem ~n ~token:j in
+    planes.((home * w) + (j / word_bits)) <-
+      planes.((home * w) + (j / word_bits)) lor (1 lsl (j mod word_bits))
+  done;
+  let full =
+    Array.init w (fun word ->
+        mask_of (Stdlib.min word_bits (k - (word * word_bits))))
+  in
+  let is_full v =
+    let ok = ref true in
+    for word = 0 to w - 1 do
+      if planes.((v * w) + word) <> full.(word) then ok := false
+    done;
+    !ok
+  in
+  let times = Array.make n None in
+  for v = 0 to n - 1 do
+    (* Complete before any interaction: time -1, matching
+       [Temporal.earliest_arrival]'s convention for the source. *)
+    if is_full v then times.(v) <- Some (-1)
+  done;
+  Run_log.iter
+    (fun ~time ~sender ~receiver ->
+      if sender >= 0 && sender < n && receiver >= 0 && receiver < n then begin
+        for word = 0 to w - 1 do
+          planes.((receiver * w) + word) <-
+            planes.((receiver * w) + word) lor planes.((sender * w) + word)
+        done;
+        if times.(receiver) = None && is_full receiver then
+          times.(receiver) <- Some time
+      end)
+    r.Doda_core.Gossip.log;
+  times
+
+let mean_coverage_time ~n ~problem r =
+  let times = coverage_times ~n ~problem r in
+  let total = ref 0 and count = ref 0 in
+  Array.iter
+    (function
+      | Some t when t >= 0 ->
+          total := !total + t;
+          incr count
+      | Some _ | None -> ())
+    times;
+  if !count = 0 then None
+  else Some (float_of_int !total /. float_of_int !count)

@@ -32,3 +32,24 @@ val mean_delivery_time : n:int -> sink:int -> Doda_core.Engine.result -> float o
 
 val max_hops : n:int -> sink:int -> Doda_core.Engine.result -> int
 (** Deepest aggregation chain. *)
+
+(** {1 Dissemination metrics}
+
+    Gossip counterparts of the delivery metrics: a {!Doda_core.Gossip}
+    log records every informative transfer, and knowledge changes only
+    on those, so the per-node knowledge history is reconstructed by
+    replay. *)
+
+val coverage_times :
+  n:int -> problem:Doda_core.Problem.t -> Doda_core.Gossip.result -> int option array
+(** Entry [v] is the time at which node [v] first knew all [k] tokens:
+    [Some (-1)] if complete before any interaction (the
+    {!Doda_dynamic.Temporal.earliest_arrival} convention), [None] if
+    never complete. @raise Invalid_argument if [problem] is not
+    [Dissemination]. *)
+
+val mean_coverage_time :
+  n:int -> problem:Doda_core.Problem.t -> Doda_core.Gossip.result -> float option
+(** Mean completion time over nodes completed by a transfer (initially
+    complete nodes carry no event and are excluded); [None] when no
+    node completed that way. *)

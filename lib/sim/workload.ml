@@ -13,11 +13,13 @@ type t =
   | Community of int * float
   | Grid of int * int
   | Markov of float * float
+  | T_interval of int
+  | Bounded_recurrent of int
   | Trace_file of string
 
 let syntax =
   "uniform | sink-biased:W | round-robin | waypoint | community:K:P | grid:R:C | \
-   markov:PON:POFF | trace:FILE"
+   markov:PON:POFF | t-interval:W | bounded-recurrent:B | trace:FILE"
 
 let parse s =
   match String.split_on_char ':' s with
@@ -42,6 +44,14 @@ let parse s =
         when p_on > 0.0 && p_on <= 1.0 && p_off > 0.0 && p_off <= 1.0 ->
           Ok (Markov (p_on, p_off))
       | _ -> Error "markov needs two probabilities in (0,1], e.g. markov:0.01:0.2")
+  | [ "t-interval"; w ] -> (
+      match int_of_string_opt w with
+      | Some w when w >= 1 -> Ok (T_interval w)
+      | _ -> Error "t-interval needs a window >= 1, e.g. t-interval:32")
+  | [ "bounded-recurrent"; b ] -> (
+      match int_of_string_opt b with
+      | Some b when b >= 1 -> Ok (Bounded_recurrent b)
+      | _ -> Error "bounded-recurrent needs a bound >= 1, e.g. bounded-recurrent:64")
   | "trace" :: rest when rest <> [] -> Ok (Trace_file (String.concat ":" rest))
   | _ -> Error ("unknown workload; syntax: " ^ syntax)
 
@@ -53,6 +63,8 @@ let to_string = function
   | Community (k, p) -> Printf.sprintf "community:%d:%g" k p
   | Grid (r, c) -> Printf.sprintf "grid:%d:%d" r c
   | Markov (p_on, p_off) -> Printf.sprintf "markov:%g:%g" p_on p_off
+  | T_interval w -> Printf.sprintf "t-interval:%d" w
+  | Bounded_recurrent b -> Printf.sprintf "bounded-recurrent:%d" b
   | Trace_file f -> "trace:" ^ f
 
 let is_finite = function Trace_file _ -> true | _ -> false
@@ -76,6 +88,9 @@ let build ?(stream = false) t ~n ~sink ~seed =
   | Community (k, p) -> wrap (Mobility.community rng ~n ~communities:k ~p_intra:p)
   | Grid (r, c) -> wrap (Mobility.grid_walkers rng ~n ~rows:r ~cols:c)
   | Markov (p_on, p_off) -> wrap (Generators.markov_edges rng ~n ~p_on ~p_off)
+  | T_interval w -> wrap (Doda_dynamic.Tvg_class.gen_t_interval rng ~n ~window:w)
+  | Bounded_recurrent b ->
+      wrap (Doda_dynamic.Tvg_class.gen_bounded_recurrent rng ~n ~bound:b)
   | Trace_file path ->
       if stream then begin
         let gen, length, max_node = Trace.stream path in

@@ -2,7 +2,8 @@
     the sweep runner, and experiment configs.
 
     Syntax: [uniform] | [sink-biased:W] | [round-robin] | [waypoint] |
-    [community:K:P] | [grid:R:C] | [markov:PON:POFF] | [trace:FILE]. *)
+    [community:K:P] | [grid:R:C] | [markov:PON:POFF] | [t-interval:W] |
+    [bounded-recurrent:B] | [trace:FILE]. *)
 
 type t =
   | Uniform
@@ -12,6 +13,12 @@ type t =
   | Community of int * float
   | Grid of int * int
   | Markov of float * float
+  | T_interval of int
+      (** class-constrained: every tumbling [W]-window is connected
+          ({!Doda_dynamic.Tvg_class.gen_t_interval}) *)
+  | Bounded_recurrent of int
+      (** class-constrained: every footprint edge recurs within [B]
+          steps ({!Doda_dynamic.Tvg_class.gen_bounded_recurrent}) *)
   | Trace_file of string
 
 val parse : string -> (t, string) result

@@ -131,11 +131,22 @@ let test_chunked_errors () =
   in
   let rewound = mk () in
   ignore (Schedule.get_exn rewound 10);
-  Alcotest.check_raises "rewind raises"
-    (Invalid_argument
-       "Schedule: chunked schedules are forward-only (time 0 is before \
-        the current block at 8)") (fun () ->
-      ignore (Schedule.get_exn rewound 0));
+  (* The message must name the failing operation, explain forward-only,
+     and point at a replayable alternative (no --stream). *)
+  (match Schedule.get_exn rewound 0 with
+  | exception Invalid_argument msg ->
+      let has needle =
+        let nl = String.length needle and ml = String.length msg in
+        let rec at i = i + nl <= ml && (String.sub msg i nl = needle || at (i + 1)) in
+        Alcotest.(check bool)
+          (Printf.sprintf "rewind message mentions %S" needle)
+          true (at 0)
+      in
+      has "Schedule.get_exn";
+      has "forward-only";
+      has "time 0 is before the current block at 8";
+      has "--stream"
+  | _ -> Alcotest.fail "rewind should raise Invalid_argument");
   let raises name f =
     match f (mk ()) with
     | exception Invalid_argument _ -> ()

@@ -217,7 +217,8 @@ let test_workload_parse_roundtrip () =
       | Error e -> Alcotest.fail (s ^ ": " ^ e))
     [
       "uniform"; "sink-biased:5"; "round-robin"; "waypoint"; "community:4:0.8";
-      "grid:5:5"; "markov:0.01:0.2"; "trace:/tmp/x.trace";
+      "grid:5:5"; "markov:0.01:0.2"; "t-interval:32"; "bounded-recurrent:64";
+      "trace:/tmp/x.trace";
     ]
 
 let test_workload_parse_errors () =
@@ -225,7 +226,8 @@ let test_workload_parse_errors () =
      diagnostic, not just a generic failure. *)
   let unknown =
     "unknown workload; syntax: uniform | sink-biased:W | round-robin | \
-     waypoint | community:K:P | grid:R:C | markov:PON:POFF | trace:FILE"
+     waypoint | community:K:P | grid:R:C | markov:PON:POFF | t-interval:W | \
+     bounded-recurrent:B | trace:FILE"
   in
   List.iter
     (fun (s, expected) ->
@@ -247,6 +249,9 @@ let test_workload_parse_errors () =
       ("markov:0:0.5", "markov needs two probabilities in (0,1], e.g. markov:0.01:0.2");
       ("markov:2:0.5", "markov needs two probabilities in (0,1], e.g. markov:0.01:0.2");
       ("markov:0.5", unknown);
+      ("t-interval:0", "t-interval needs a window >= 1, e.g. t-interval:32");
+      ( "bounded-recurrent:x",
+        "bounded-recurrent needs a bound >= 1, e.g. bounded-recurrent:64" );
     ]
 
 let test_workload_schedules_run () =
@@ -265,8 +270,23 @@ let test_workload_schedules_run () =
           end)
     [
       "uniform"; "sink-biased:5"; "round-robin"; "waypoint"; "community:3:0.8";
-      "grid:4:4"; "markov:0.05:0.3"; "trace:/tmp/x.trace";
-    ]
+      "grid:4:4"; "markov:0.05:0.3"; "t-interval:12"; "trace:/tmp/x.trace";
+    ];
+  (* bounded-recurrent draws only spanning-tree edges, so Gathering can
+     strand two non-adjacent holders and aggregation need not
+     terminate — but gossip always covers (the footprint is connected
+     and recurs forever). *)
+  match Workload.parse "bounded-recurrent:16" with
+  | Error e -> Alcotest.fail e
+  | Ok w ->
+      let sched = Workload.schedule w ~n:8 ~sink:0 ~seed:5 in
+      let r =
+        Doda_core.Gossip.run ~max_steps:500_000
+          ~problem:(Doda_core.Problem.dissemination ~k:8)
+          sched
+      in
+      Alcotest.(check bool) "bounded-recurrent gossip covers" true
+        (r.Doda_core.Gossip.stop = Engine.All_aggregated)
 
 let test_workload_trace_roundtrip () =
   let rng = Doda_prng.Prng.create 7 in

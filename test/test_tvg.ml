@@ -1,0 +1,318 @@
+(* TVG-class validators and generators: every class-constrained
+   generator's schedules must pass their own validator (and the
+   strictly weaker classes implied by the construction), and each
+   validator must reject hand-built counterexamples with the exact
+   witness. *)
+
+module Interaction = Doda_dynamic.Interaction
+module Sequence = Doda_dynamic.Sequence
+module Schedule = Doda_dynamic.Schedule
+module Tvg = Doda_dynamic.Tvg_class
+module Workload = Doda_sim.Workload
+module Prng = Doda_prng.Prng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Materialise a stateful generator in draw order (generators must be
+   read in non-decreasing time order, and [Array.init]'s evaluation
+   order is unspecified). *)
+let materialize gen len =
+  let arr = Array.make len (Interaction.make 0 1) in
+  for t = 0 to len - 1 do
+    arr.(t) <- gen t
+  done;
+  Sequence.of_array arr
+
+let seq_of_pairs = Sequence.of_pairs
+
+let check_ok name = function
+  | Ok () -> ()
+  | Error w -> Alcotest.failf "%s: unexpected witness %a" name Tvg.pp_witness w
+
+(* ------------------------------------------------------------------ *)
+(* Generator ⇄ validator round trips, with the implication chain. *)
+
+let t_interval_arb =
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun n slack seed -> (n, n - 1 + slack, seed))
+        (int_range 3 10) (int_range 0 8) (int_range 0 1_000_000))
+  in
+  QCheck.make
+    ~print:(fun (n, w, seed) -> Printf.sprintf "(n=%d, window=%d, seed=%d)" n w seed)
+    gen
+
+let prop_gen_t_interval_in_class =
+  QCheck.Test.make ~count:60
+    ~name:"gen_t_interval passes T_interval w, T_interval 2w, Temporal"
+    t_interval_arb (fun (n, window, seed) ->
+      let len = n * window in
+      let s =
+        materialize (Tvg.gen_t_interval (Prng.create seed) ~n ~window) len
+      in
+      Tvg.validate ~n (Tvg.T_interval window) s = Ok ()
+      (* Tumbling 2w-windows split into two full w-windows, each
+         connected, sharing all n nodes. *)
+      && Tvg.validate ~n (Tvg.T_interval (2 * window)) s = Ok ()
+      (* Each connected window informs at least one new node, and the
+         sequence holds n - 1 full windows per source. *)
+      && Tvg.validate ~n Tvg.Temporal s = Ok ())
+
+let bounded_arb =
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun n slack seed -> (n, (2 * (n - 1)) + slack, seed))
+        (int_range 3 8) (int_range 0 10) (int_range 0 1_000_000))
+  in
+  QCheck.make
+    ~print:(fun (n, b, seed) -> Printf.sprintf "(n=%d, bound=%d, seed=%d)" n b seed)
+    gen
+
+let prop_gen_bounded_recurrent_in_class =
+  QCheck.Test.make ~count:60
+    ~name:
+      "gen_bounded_recurrent passes Bounded_recurrent b, T_interval b, \
+       Recurrent, Temporal"
+    bounded_arb (fun (n, bound, seed) ->
+      let len = n * bound in
+      let s =
+        materialize (Tvg.gen_bounded_recurrent (Prng.create seed) ~n ~bound) len
+      in
+      Tvg.validate ~n (Tvg.Bounded_recurrent bound) s = Ok ()
+      (* Every sliding bound-window holds the whole spanning-tree
+         footprint, so every tumbling one is connected. *)
+      && Tvg.validate ~n (Tvg.T_interval bound) s = Ok ()
+      (* bound <= len / 2 here, so every edge recurs in the closing
+         half. *)
+      && Tvg.validate ~n Tvg.Recurrent s = Ok ()
+      && Tvg.validate ~n Tvg.Temporal s = Ok ())
+
+let prop_stream_agrees_with_frozen =
+  QCheck.Test.make ~count:40
+    ~name:"validate_stream = validate on generator output" bounded_arb
+    (fun (n, bound, seed) ->
+      let len = 3 * bound in
+      let s =
+        materialize (Tvg.gen_bounded_recurrent (Prng.create seed) ~n ~bound) len
+      in
+      List.for_all
+        (fun cls ->
+          Tvg.validate_stream ~n ~length:len cls (Sequence.unsafe_get s)
+          = Tvg.validate ~n cls s)
+        [
+          Tvg.T_interval bound;
+          Tvg.T_interval (bound / 2);
+          Tvg.Recurrent;
+          Tvg.Bounded_recurrent bound;
+          Tvg.Bounded_recurrent (bound / 3);
+        ])
+
+let prop_generators_deterministic =
+  QCheck.Test.make ~count:30 ~name:"identical seeds replay identical schedules"
+    t_interval_arb (fun (n, window, seed) ->
+      let len = 3 * window in
+      let once =
+        materialize (Tvg.gen_t_interval (Prng.create seed) ~n ~window) len
+      in
+      let again =
+        materialize (Tvg.gen_t_interval (Prng.create seed) ~n ~window) len
+      in
+      Sequence.equal once again)
+
+(* min_bound is exact: the summary's bound validates and one less does
+   not. *)
+let prop_min_bound_tight =
+  QCheck.Test.make ~count:40 ~name:"summarize min_bound is tight" bounded_arb
+    (fun (n, bound, seed) ->
+      let len = 3 * bound in
+      let s =
+        materialize (Tvg.gen_bounded_recurrent (Prng.create seed) ~n ~bound) len
+      in
+      match (Tvg.summarize ~n s).Tvg.min_bound with
+      | None -> false
+      | Some b ->
+          Tvg.validate ~n (Tvg.Bounded_recurrent b) s = Ok ()
+          && (b = 1 || Tvg.validate ~n (Tvg.Bounded_recurrent (b - 1)) s <> Ok ()))
+
+(* ------------------------------------------------------------------ *)
+(* Hand-built counterexamples: exact witnesses. *)
+
+let test_temporal_witness () =
+  let s = seq_of_pairs [ (0, 1); (0, 1); (0, 1) ] in
+  match Tvg.validate ~n:3 Tvg.Temporal s with
+  | Error (Tvg.Unreachable { src = 0; dst = 2 }) -> ()
+  | Error w -> Alcotest.failf "wrong witness: %a" Tvg.pp_witness w
+  | Ok () -> Alcotest.fail "node 2 is unreachable"
+
+let test_t_interval_witness () =
+  let s =
+    seq_of_pairs [ (0, 1); (1, 2); (2, 3); (0, 1); (0, 1); (0, 1) ]
+  in
+  (match Tvg.validate ~n:4 (Tvg.T_interval 3) s with
+  | Error (Tvg.Disconnected_window { start = 3; len = 3 }) -> ()
+  | Error w -> Alcotest.failf "wrong witness: %a" Tvg.pp_witness w
+  | Ok () -> Alcotest.fail "second window is disconnected");
+  (* The trailing partial window is never checked. *)
+  check_ok "partial tail ignored"
+    (Tvg.validate ~n:4 (Tvg.T_interval 4)
+       (seq_of_pairs [ (0, 1); (1, 2); (2, 3); (0, 2); (0, 1) ]))
+
+let test_recurrent_witness () =
+  (* (0,1) lives only in the opening half of the 6 steps. *)
+  let s = seq_of_pairs [ (0, 1); (0, 1); (1, 2); (1, 2); (1, 2); (1, 2) ] in
+  match Tvg.validate ~n:3 Tvg.Recurrent s with
+  | Error (Tvg.Vanished_edge { u = 0; v = 1; last_seen = 1 }) -> ()
+  | Error w -> Alcotest.failf "wrong witness: %a" Tvg.pp_witness w
+  | Ok () -> Alcotest.fail "(0,1) vanishes"
+
+let test_bounded_recurrent_witnesses () =
+  (* Interior gap: (0,1) at times 0 and 4, nothing between. *)
+  let interior = seq_of_pairs [ (0, 1); (1, 2); (1, 2); (1, 2); (0, 1) ] in
+  (match Tvg.validate ~n:3 (Tvg.Bounded_recurrent 2) interior with
+  | Error (Tvg.Edge_gap { u = 0; v = 1; gap_start = 0; gap_end = 4 }) -> ()
+  | Error w -> Alcotest.failf "interior: wrong witness: %a" Tvg.pp_witness w
+  | Ok () -> Alcotest.fail "interior gap of 3 > 2");
+  (* Start sentinel: (1,2) first appears at time 1, too late for
+     bound 1. *)
+  let late = seq_of_pairs [ (0, 1); (1, 2) ] in
+  (match Tvg.validate ~n:3 (Tvg.Bounded_recurrent 1) late with
+  | Error (Tvg.Edge_gap { u = 1; v = 2; gap_start = -1; gap_end = 1 }) -> ()
+  | Error w -> Alcotest.failf "start: wrong witness: %a" Tvg.pp_witness w
+  | Ok () -> Alcotest.fail "(1,2) appears too late");
+  (* End sentinel: (0,1) last appears at time 0 of 3 steps. *)
+  let tail = seq_of_pairs [ (0, 1); (1, 2); (1, 2) ] in
+  (match Tvg.validate ~n:3 (Tvg.Bounded_recurrent 2) tail with
+  | Error (Tvg.Edge_gap { u = 0; v = 1; gap_start = 0; gap_end = 3 }) -> ()
+  | Error w -> Alcotest.failf "end: wrong witness: %a" Tvg.pp_witness w
+  | Ok () -> Alcotest.fail "(0,1) absent from the last 3 > 2 steps");
+  (* The gap measure is the difference of occurrence times: (0,1) at
+     times 0 and 4 is a gap of 4. *)
+  check_ok "bound 4 admits all gaps"
+    (Tvg.validate ~n:3 (Tvg.Bounded_recurrent 4) interior)
+
+let test_param_guards () =
+  let raises f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  let s = seq_of_pairs [ (0, 1) ] in
+  Alcotest.(check bool) "window 0 rejected" true
+    (raises (fun () -> Tvg.validate ~n:2 (Tvg.T_interval 0) s));
+  Alcotest.(check bool) "bound 0 rejected" true
+    (raises (fun () -> Tvg.validate ~n:2 (Tvg.Bounded_recurrent 0) s));
+  Alcotest.(check bool) "streaming Temporal rejected" true
+    (raises (fun () ->
+         Tvg.validate_stream ~n:2 ~length:1 Tvg.Temporal (Sequence.unsafe_get s)));
+  Alcotest.(check bool) "tight t-interval window rejected" true
+    (raises (fun () -> Tvg.gen_t_interval (Prng.create 1) ~n:8 ~window:6));
+  Alcotest.(check bool) "tight bounded-recurrent bound rejected" true
+    (raises (fun () -> Tvg.gen_bounded_recurrent (Prng.create 1) ~n:8 ~bound:13));
+  (* Rewinding a block generator past its discarded block raises. *)
+  let gen = Tvg.gen_t_interval (Prng.create 1) ~n:4 ~window:4 in
+  ignore (gen 17);
+  Alcotest.(check bool) "generator rewind rejected" true
+    (raises (fun () -> gen 3))
+
+let test_parse_roundtrip () =
+  List.iter
+    (fun cls ->
+      match Tvg.parse (Tvg.to_string cls) with
+      | Ok c -> Alcotest.(check bool) (Tvg.to_string cls) true (c = cls)
+      | Error e -> Alcotest.failf "round-trip failed: %s" e)
+    [ Tvg.Temporal; Tvg.T_interval 17; Tvg.Recurrent; Tvg.Bounded_recurrent 9 ];
+  List.iter
+    (fun bad ->
+      match Tvg.parse bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should not parse" bad)
+    [ "t-interval:0"; "t-interval:x"; "bounded-recurrent:-1"; "interval"; "" ]
+
+let test_summarize () =
+  let n = 5 and bound = 10 in
+  let s =
+    materialize (Tvg.gen_bounded_recurrent (Prng.create 7) ~n ~bound) (4 * bound)
+  in
+  let sum = Tvg.summarize ~n s in
+  Alcotest.(check int) "nodes" n sum.Tvg.nodes;
+  Alcotest.(check int) "length" (4 * bound) sum.Tvg.length;
+  Alcotest.(check int) "footprint is the spanning tree" (n - 1)
+    sum.Tvg.footprint_edges;
+  Alcotest.(check bool) "footprint connected" true sum.Tvg.footprint_connected;
+  check_ok "temporal" sum.Tvg.temporal;
+  check_ok "recurrent" sum.Tvg.recurrent;
+  (match sum.Tvg.min_window with
+  | Some w ->
+      check_ok "min_window validates" (Tvg.validate ~n (Tvg.T_interval w) s)
+  | None -> Alcotest.fail "a bounded-recurrent trace has a valid window");
+  match sum.Tvg.min_bound with
+  | Some b -> Alcotest.(check bool) "min_bound <= construction bound" true (b <= bound)
+  | None -> Alcotest.fail "min_bound exists on a non-empty trace"
+
+(* ------------------------------------------------------------------ *)
+(* Workload layer: class-constrained sources parse and stay in class. *)
+
+let test_workload_classes () =
+  (match Workload.parse "t-interval:32" with
+  | Ok (Workload.T_interval 32) -> ()
+  | _ -> Alcotest.fail "t-interval:32 should parse");
+  (match Workload.parse "bounded-recurrent:64" with
+  | Ok (Workload.Bounded_recurrent 64) -> ()
+  | _ -> Alcotest.fail "bounded-recurrent:64 should parse");
+  (match Workload.parse "t-interval:0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "t-interval:0 should not parse");
+  List.iter
+    (fun w ->
+      Alcotest.(check string) "to_string round-trips"
+        (Workload.to_string w)
+        (match Workload.parse (Workload.to_string w) with
+        | Ok w' -> Workload.to_string w'
+        | Error e -> e))
+    [ Workload.T_interval 8; Workload.Bounded_recurrent 12 ];
+  (* Built through the schedule layer, the trace still validates. *)
+  let n = 6 and window = 8 in
+  let sched =
+    Workload.schedule (Workload.T_interval window) ~n ~sink:0 ~seed:3
+  in
+  let prefix = Schedule.prefix sched (n * window) in
+  check_ok "workload schedule stays in class"
+    (Tvg.validate ~n (Tvg.T_interval window) prefix);
+  (* And the streamed variant plays the identical draws. *)
+  let streamed =
+    Workload.schedule ~stream:true (Workload.T_interval window) ~n ~sink:0
+      ~seed:3
+  in
+  let same = ref true in
+  for t = 0 to (n * window) - 1 do
+    if Schedule.get_exn streamed t <> Sequence.get prefix t then same := false
+  done;
+  Alcotest.(check bool) "streamed draws identical" true !same
+
+let () =
+  Alcotest.run "tvg_class"
+    [
+      ( "roundtrip",
+        [
+          qtest prop_gen_t_interval_in_class;
+          qtest prop_gen_bounded_recurrent_in_class;
+          qtest prop_stream_agrees_with_frozen;
+          qtest prop_generators_deterministic;
+          qtest prop_min_bound_tight;
+        ] );
+      ( "witnesses",
+        [
+          Alcotest.test_case "temporal" `Quick test_temporal_witness;
+          Alcotest.test_case "t-interval" `Quick test_t_interval_witness;
+          Alcotest.test_case "recurrent" `Quick test_recurrent_witness;
+          Alcotest.test_case "bounded-recurrent" `Quick
+            test_bounded_recurrent_witnesses;
+          Alcotest.test_case "parameter guards" `Quick test_param_guards;
+        ] );
+      ( "classify",
+        [
+          Alcotest.test_case "parse round-trip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "summarize" `Quick test_summarize;
+          Alcotest.test_case "workload classes" `Quick test_workload_classes;
+        ] );
+    ]
