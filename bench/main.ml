@@ -1406,9 +1406,103 @@ let batch () =
             ])
         [ 1; 16; 64; 256 ])
     [ ("waiting", Algorithms.waiting); ("gathering", Algorithms.gathering) ];
+  (* Gossip rows: the rep-packed plane layout (k <= 63 folds several
+     replications per word) against R scalar bit-plane runs on the same
+     frozen schedule. *)
+  let problem = Problem.dissemination ~k:8 in
+  List.iter
+    (fun r ->
+      let scalar_ns =
+        measure (fun () ->
+            for _ = 1 to r do
+              ignore (Gossip.run ~record:`Count ~problem sched)
+            done)
+        /. float_of_int r
+      in
+      let batch_ns =
+        measure (fun () ->
+            ignore (Gossip.run_reps ~record:`Count ~problem sched r))
+        /. float_of_int r
+      in
+      let stats = Batch_engine.stats () in
+      ignore (Gossip.run_reps ~record:`Count ~stats ~problem sched r);
+      let amortisation =
+        float_of_int stats.lane_steps /. float_of_int stats.decodes
+      in
+      let speedup = scalar_ns /. batch_ns in
+      batch_speedups :=
+        (Printf.sprintf "gossip:k8-r%d" r, speedup) :: !batch_speedups;
+      Table.add_row t
+        [
+          "gossip:k8"; string_of_int r; fmt scalar_ns; fmt batch_ns;
+          ratio speedup; fmt amortisation; fmt (1e9 /. batch_ns);
+        ])
+    [ 1; 16; 64; 256 ];
   batch_speedups := List.rev !batch_speedups;
   (* Timing columns cannot serve as byte-identical CSV baselines. *)
   print_table ~csv:false ~name:"batch" t
+
+(* ------------------------------------------------------------------ *)
+(* STREAMBATCH — the streamed batched sweep: R lockstep lanes over ONE
+   chunked class-constrained schedule vs R scalar streamed passes.     *)
+
+(* Schema 6: streamed-batch-vs-scalar-streamed speedups, archived at
+   the top level of BENCH_results.json ([{}] when it did not run). *)
+let stream_batch_speedup : (string * float) list ref = ref []
+
+let streambatch () =
+  header
+    "STREAMBATCH | lockstep lanes over one streamed class-constrained schedule"
+    "n = 1e5 bounded-recurrent trace (adversary replay: every lane sees\n\
+     the same schedule). scalar = R independent streamed Engine.run\n\
+     passes, each decoding its own chunk stream; batch = ONE\n\
+     Batch_engine.run_reps pass over a single chunked schedule with a\n\
+     pipelined producer domain double-buffering the next block\n\
+     (Pool.pipeline). Memory stays O(block) on both paths; the batch\n\
+     decodes the trace once instead of R times. refills counts\n\
+     installed blocks (deterministic at any job count), prefetched the\n\
+     blocks the producer had ready. Timing columns are machine-\n\
+     dependent, so this table is not a byte-identical CSV baseline.";
+  let n = 100_000 in
+  let len = 1 lsl 20 in
+  let bound = 2 * (n - 1) in
+  let mk () =
+    Schedule.of_fun_chunked ~length:len ~n ~sink:0
+      (Tvg_class.gen_bounded_recurrent (Prng.create master_seed) ~n ~bound)
+  in
+  let t =
+    Table.create
+      ~header:
+        [ "algorithm"; "R"; "scalar s/rep"; "batch s/rep"; "speedup";
+          "reps/s"; "refills"; "prefetched" ]
+  in
+  stream_batch_speedup := [];
+  List.iter
+    (fun r ->
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to r do
+        ignore (Engine.run ~record:`Count Algorithms.gathering (mk ()))
+      done;
+      let scalar = (Unix.gettimeofday () -. t0) /. float_of_int r in
+      let sched = mk () in
+      Pool.pipeline (Lazy.force pool) sched;
+      let t0 = Unix.gettimeofday () in
+      ignore (Batch_engine.run_reps ~record:`Count Algorithms.gathering sched r);
+      let batch = (Unix.gettimeofday () -. t0) /. float_of_int r in
+      let stats = Schedule.chunk_stats sched in
+      let speedup = scalar /. batch in
+      stream_batch_speedup :=
+        !stream_batch_speedup
+        @ [ (Printf.sprintf "gathering-r%d" r, speedup) ];
+      Table.add_row t
+        [
+          "gathering"; string_of_int r; fmt scalar; fmt batch; ratio speedup;
+          fmt (1.0 /. batch);
+          string_of_int stats.Schedule.refills;
+          string_of_int stats.Schedule.prefetched;
+        ])
+    [ 64; 256 ];
+  print_table ~csv:false ~name:"streambatch" t
 
 (* ------------------------------------------------------------------ *)
 (* SCALE — run-core scaling on chunked schedules: time and memory vs n
@@ -1639,6 +1733,7 @@ let all_experiments =
     ("variants", variants); ("spite", spite); ("mixed", mixed); ("price", price);
     ("policies", policies); ("gen", gen); ("micro", micro);
     ("batch", batch); ("scale", scale); ("classes", classes);
+    ("streambatch", streambatch);
   ]
 
 (* Machine-readable archive: per-experiment wall clock plus every table
@@ -1689,7 +1784,7 @@ let write_json path results =
   Json.write path
     (Json.Obj
        [
-         ("schema", Json.Int 5);
+         ("schema", Json.Int 6);
          ("jobs", Json.Int !jobs);
          ("seed", Json.Int master_seed);
          ("replications", Json.Int replications);
@@ -1708,6 +1803,11 @@ let write_json path results =
          ( "classes_done",
            Json.Obj
              (List.map (fun (k, s) -> (k, Json.Float s)) !classes_done) );
+         (* Schema 6: streamed-batch-vs-scalar-streamed speedups from
+            the STREAMBATCH experiment ([{}] when it did not run). *)
+         ( "stream_batch_speedup",
+           Json.Obj
+             (List.map (fun (k, s) -> (k, Json.Float s)) !stream_batch_speedup) );
          ("spans", Json.List spans);
          ("experiments", Json.List experiments);
        ]);

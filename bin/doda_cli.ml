@@ -145,7 +145,12 @@ let gossip_run ~tel ~problem ~stream sched max_steps =
   | Some m -> Format.printf "mean coverage time: %.1f@." m
   | None -> Format.printf "mean coverage time: -@.");
   if stream then
-    Format.printf "log validation skipped (--stream keeps no prefix)@."
+    (* Coverage times above are fine: Analysis replays the transfer
+       log, never the schedule prefix. Only the validator needs the
+       played interactions themselves. *)
+    Format.printf
+      "log validation skipped (--stream keeps no prefix; coverage times \
+       replay the transfer log)@."
   else begin
     let prefix = Schedule.prefix sched (Schedule.materialized sched) in
     match Validate.problem problem ~n prefix result.Gossip.log with
@@ -179,6 +184,7 @@ let run_cmd =
         (* Gossip has no per-algorithm strategy: both endpoints always
            exchange everything they know. *)
         gossip_run ~tel ~problem ~stream sched max_steps;
+        if stream then Instrument.record_chunk_stats ~nondeterministic:true tel sched;
         if metrics then print_string (Instrument.summary tel);
         emit_trace tel trace
     | Problem.Aggregation _ ->
@@ -209,6 +215,7 @@ let run_cmd =
     end;
     if timeline then
       print_string (Doda_sim.Timeline.render ~n:(Schedule.n sched) ~sink result);
+    if stream then Instrument.record_chunk_stats ~nondeterministic:true tel sched;
     if metrics then print_string (Instrument.summary tel);
     emit_trace tel trace
   in
@@ -275,8 +282,8 @@ let duel_cmd =
 (* doda sweep                                                          *)
 
 let sweep_cmd =
-  let sweep algo_name ns reps seed source csv jobs stream checkpoint metrics
-      trace =
+  let sweep algo_name ns reps seed source max_steps csv jobs stream batch
+      checkpoint metrics trace =
     if jobs < 1 then begin
       Printf.eprintf "--jobs must be >= 1, got %d\n" jobs;
       exit 2
@@ -288,13 +295,21 @@ let sweep_cmd =
       | Some path ->
           (* The key pins every parameter that shapes the sweep, so a
              checkpoint from a differently-shaped run is discarded
-             instead of leaking wrong results in. *)
+             instead of leaking wrong results in. A batched sweep is a
+             different experiment (one shared schedule per point, not
+             one per replication), hence its own key prefix. *)
           let key =
-            Printf.sprintf "sweep v1 algo=%s source=%s ns=%s reps=%d seed=%d"
+            Printf.sprintf "%s v1 algo=%s source=%s ns=%s reps=%d seed=%d%s"
+              (if batch then "sweep-batch" else "sweep")
               algo_name
               (Workload.to_string source)
               (String.concat "," (List.map string_of_int ns))
               reps seed
+              (* Appended only when overridden, so checkpoints written
+                 before the flag existed keep resuming. *)
+              (match max_steps with
+              | Some m -> Printf.sprintf " max-steps=%d" m
+              | None -> "")
           in
           Some (Doda_sim.Checkpoint.create ~path ~key)
     in
@@ -314,17 +329,29 @@ let sweep_cmd =
               (fun cp -> Doda_sim.Checkpoint.sub cp ~base:(i * reps))
               cp
           in
+          let max_steps =
+            match max_steps with
+            | Some m -> m
+            | None -> (400 * n * n) + 10_000
+          in
+          let label = algo.Doda_core.Algorithm.name in
+          let factory rng =
+            (* One independent instantiation of the workload per
+               stream handed in: the scalar sweep calls this once per
+               replication, the batched sweep once per point. *)
+            Workload.schedule ~stream source ~n ~sink:0
+              ~seed:(Prng.int rng 1_000_000_000)
+          in
           let m =
-            Experiment.run_schedule_factory ~pool ~telemetry:tel ?checkpoint
-              ~replications:reps ~seed
-              ~max_steps:((400 * n * n) + 10_000)
-              ~label:algo.Doda_core.Algorithm.name ~n
-              (fun rng ->
-                (* One independent instantiation of the workload per
-                   replication, derived from the split stream. *)
-                Workload.schedule ~stream source ~n ~sink:0
-                  ~seed:(Prng.int rng 1_000_000_000))
-              algo
+            if batch then
+              (* Lockstep: ONE shared schedule per point, all
+                 replications bit-parallel over it; the pool pipelines
+                 streamed block decodes. *)
+              Experiment.run_batched_factory ~pool ~telemetry:tel ?checkpoint
+                ~replications:reps ~seed ~max_steps ~label ~n factory algo
+            else
+              Experiment.run_schedule_factory ~pool ~telemetry:tel ?checkpoint
+                ~replications:reps ~seed ~max_steps ~label ~n factory algo
           in
           let p = Scaling.point_of m in
           Table.add_row t
@@ -396,9 +423,22 @@ let sweep_cmd =
              finished slots and produces the bit-identical table. Relative \
              paths honour $(b,DODA_SCRATCH).")
   in
+  let batch =
+    Arg.(
+      value & flag
+      & info [ "batch" ]
+          ~doc:
+            "Lockstep batched sweep: draw ONE schedule per point and run all \
+             replications bit-parallel over it (the adversary-replay \
+             experiment; a different measurement from the default's fresh \
+             schedule per replication). Works with $(b,--stream) in bounded \
+             memory — block decodes are pipelined over the worker domains — \
+             and needs a batch-capable algorithm.")
+  in
   let term =
-    Term.(const sweep $ algo_arg $ ns $ reps $ seed_arg $ source_arg $ csv $ jobs
-          $ stream_flag $ checkpoint $ metrics_flag $ trace_arg)
+    Term.(const sweep $ algo_arg $ ns $ reps $ seed_arg $ source_arg
+          $ max_steps_arg $ csv $ jobs
+          $ stream_flag $ batch $ checkpoint $ metrics_flag $ trace_arg)
   in
   Cmd.v
     (Cmd.info "sweep"

@@ -48,6 +48,32 @@ let stop_for schedule ~final_clock ~aggregated =
     | Some len when final_clock >= len -> Engine.Schedule_exhausted
     | Some _ | None -> Engine.Step_limit
 
+(* Decode closure shared by the lockstep loops. Frozen/finite
+   schedules read the flat backing directly. Chunked schedules cache
+   the current block view, so the per-step cost is one bounds check
+   and the advance (with its forward-only/length guards, and under
+   prefetch the buffer swap) runs once per block. The cached array is
+   only read for times inside its window, and the loops decode at
+   monotonically increasing t, so by the time a swapped-out buffer is
+   reused by the producer the consumer has already re-viewed — stale
+   reads cannot happen. Everything else goes through a stepper. *)
+let decoder schedule ~backing ~stp =
+  match backing with
+  | Some seq -> fun t -> Sequence.unsafe_get seq t
+  | None when Schedule.is_chunked schedule ->
+      let blk = ref [||] and base = ref 0 and hi = ref 0 in
+      fun t ->
+        if t >= !hi || t < !base then begin
+          let b, off, avail = Schedule.chunk_view schedule t in
+          blk := b;
+          base := t - off;
+          hi := t + avail
+        end;
+        Interaction.of_int_unchecked (Array.unsafe_get !blk (t - !base))
+  | None ->
+      let stp = Option.get stp in
+      fun t -> Schedule.stepper_get stp t
+
 (* ------------------------------------------------------------------ *)
 (* Bit-parallel replications. *)
 
@@ -59,7 +85,11 @@ let run_reps ?max_steps ?(record = `All) ?rngs ?(stats = fresh_stats ())
     | Some rule -> rule
     | None ->
         invalid_arg
-          (Printf.sprintf "Batch_engine.run_reps: %s has no batch rule"
+          (Printf.sprintf
+             "Batch_engine.run_reps: %s has no batch rule (Token_sink / \
+              Coin_sink / Coin_gather / Gather / Meet_policy); fall back to \
+              the scalar Engine.run per replication \
+              (Experiment.replicate_par)"
              algo.name)
   in
   let rngs =
@@ -112,13 +142,7 @@ let run_reps ?max_steps ?(record = `All) ?rngs ?(stats = fresh_stats ())
     || (match rule with Algorithm.Meet_policy _ -> true | _ -> false)
   in
   let stp = if needs_stepper then Some (Schedule.stepper schedule) else None in
-  let decode =
-    match backing with
-    | Some seq -> fun t -> Sequence.unsafe_get seq t
-    | None ->
-        let stp = Option.get stp in
-        fun t -> Schedule.stepper_get stp t
-  in
+  let decode = decoder schedule ~backing ~stp in
   (* Commit sender [s] -> receiver [rcv] at time [t] for every
      replication in [m] of plane word [word]: one word-parallel holder
      clear, then per-bit bookkeeping (bounded by the transmit-once
@@ -408,13 +432,7 @@ let sweep_chunk ?max_steps ~record ~stats algos schedule =
     if backing = None || meet_mask <> 0 then Some (Schedule.stepper schedule)
     else None
   in
-  let decode =
-    match backing with
-    | Some seq -> fun t -> Sequence.unsafe_get seq t
-    | None ->
-        let stp = Option.get stp in
-        fun t -> Schedule.stepper_get stp t
-  in
+  let decode = decoder schedule ~backing ~stp in
   let t = ref 0 in
   while !alive > 0 && !t < limit do
     let time = !t in

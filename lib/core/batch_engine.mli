@@ -30,7 +30,19 @@
     or per algorithm: same stop reasons, durations, step counts,
     transmission logs, holder sets, and — for coin algorithms — the
     same PRNG draw sequences (a differential test enforces this per
-    algorithm). *)
+    algorithm).
+
+    {b Schedule forms.} Frozen/finite schedules decode straight off
+    the flat backing. Chunked (streamed) schedules are first-class:
+    the loops read through a cached
+    {!Doda_dynamic.Schedule.chunk_view}, so each block is generated
+    once and drained by every lane before the ring recycles it —
+    memory stays O(block), never O(T). The chunked pass must run on a
+    single consumer domain (parallelism comes from the lanes, and
+    optionally from a pipelined producer via
+    {!Doda_dynamic.Schedule.chunk_prefetch}). Meet-time policies are
+    the exception: their oracle needs replay, which a chunked
+    schedule refuses by design. *)
 
 val word_bits : int
 (** Replications packed per bit-plane word: 63, the width of OCaml's

@@ -27,6 +27,35 @@ type frozen = {
   f_meets : int array array;  (* per node, sorted sink-meeting times *)
 }
 
+(* Double-buffered block prefetch, enabled via [chunk_prefetch]: a
+   producer task (typically on a pool worker domain) decodes the *next*
+   block into a spare buffer while the consumer drains the current one;
+   when the consumer exhausts its block the two buffers swap and the
+   next fill is queued. Exactly one fill is in flight at any moment, so
+   the generator is still called exactly once per index, in increasing
+   order — the producer chain merely runs up to one block ahead. *)
+type fill =
+  | Pf_idle  (* nothing to decode (finite schedule fully produced) *)
+  | Pf_queued of { pf_base : int; pf_cap : int }  (* submitted, not started *)
+  | Pf_filling  (* some domain is decoding into the spare buffer *)
+  | Pf_ready of { pf_base : int; pf_len : int; pf_async : bool }
+      (* spare buffer holds [pf_base .. pf_base+pf_len); [pf_async] iff
+         a pool task (not the consumer stealing the job) decoded it *)
+  | Pf_failed  (* the generator raised; the exception is parked below *)
+
+type prefetch = {
+  p_submit : (unit -> unit) -> unit;  (* producer-task sink (pool submit) *)
+  p_now : unit -> int;  (* monotonic clock, ns (stall accounting) *)
+  p_lock : Mutex.t;
+  p_done : Condition.t;  (* signalled on Pf_ready / Pf_failed *)
+  mutable p_buf : int array;  (* the spare buffer (same size as c_block) *)
+  mutable p_fill : fill;
+  mutable p_error : (exn * Printexc.raw_backtrace) option;
+  mutable p_async : int;  (* blocks consumed that a pool task decoded *)
+  mutable p_stalls : int;  (* consumer waits on an unfinished fill *)
+  mutable p_stall_ns : int;
+}
+
 (* Streaming form: one fixed-size block of packed interactions decoded
    from the generator on demand, recycled in place as time advances.
    Memory is O(block) whatever the horizon — no prefix buffer, no
@@ -36,9 +65,11 @@ type chunked = {
   c_sink : int;
   c_gen : int -> Interaction.t;
   c_length : int option;  (* finite horizon (streamed traces), if any *)
-  c_block : int array;  (* packed interactions [c_base .. c_base+c_len) *)
+  mutable c_block : int array;  (* packed interactions [c_base .. c_base+c_len) *)
   mutable c_base : int;  (* time of [c_block.(0)] *)
   mutable c_len : int;  (* valid entries in the block *)
+  mutable c_refills : int;  (* blocks installed as current (deterministic) *)
+  mutable c_prefetch : prefetch option;
 }
 
 type t = Live of live | Frozen of frozen | Chunked of chunked
@@ -99,6 +130,8 @@ let of_fun_chunked ?(block = default_block) ?length ~n ~sink gen =
       c_block = Array.make block (Interaction.to_int Interaction.dummy);
       c_base = 0;
       c_len = 0;
+      c_refills = 0;
+      c_prefetch = None;
     }
 
 let n = function
@@ -177,6 +210,105 @@ let ensure t upto =
         t.indexed <- t.indexed + 1
       done
 
+(* Decode [cap] interactions from [base] into [buf]. Shared by the
+   synchronous refill and the producer task. *)
+let fill_block ~n gen buf base cap =
+  for k = 0 to cap - 1 do
+    let i = gen (base + k) in
+    check_interaction ~n i;
+    Array.unsafe_set buf k (Interaction.to_int i)
+  done
+
+(* Run whatever fill is currently queued, if any. Called both by the
+   submitted pool task ([async = true]) and by the consumer when it
+   would otherwise wait on a job no worker has picked up yet (the
+   still-queued job is stolen and run inline, so a pool whose workers
+   are all busy never deadlocks the consumer; the stale pool task then
+   finds nothing queued and returns). *)
+let prefetch_run_fill ~async c p =
+  Mutex.lock p.p_lock;
+  match p.p_fill with
+  | Pf_queued { pf_base; pf_cap } -> (
+      p.p_fill <- Pf_filling;
+      Mutex.unlock p.p_lock;
+      match fill_block ~n:c.c_node_count c.c_gen p.p_buf pf_base pf_cap with
+      | () ->
+          Mutex.lock p.p_lock;
+          p.p_fill <- Pf_ready { pf_base; pf_len = pf_cap; pf_async = async };
+          Condition.broadcast p.p_done;
+          Mutex.unlock p.p_lock
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.lock p.p_lock;
+          p.p_fill <- Pf_failed;
+          p.p_error <- Some (e, bt);
+          Condition.broadcast p.p_done;
+          Mutex.unlock p.p_lock)
+  | Pf_idle | Pf_filling | Pf_ready _ | Pf_failed -> Mutex.unlock p.p_lock
+
+(* Queue the fill of the next undecoded block (the spare buffer is free
+   by invariant: its previous contents were just swapped in, or this is
+   the enabling call). *)
+let prefetch_queue c p =
+  let base = c.c_base + c.c_len in
+  let cap =
+    match c.c_length with
+    | Some l -> Stdlib.min (Array.length p.p_buf) (l - base)
+    | None -> Array.length p.p_buf
+  in
+  if cap <= 0 then begin
+    Mutex.lock p.p_lock;
+    p.p_fill <- Pf_idle;
+    Mutex.unlock p.p_lock
+  end
+  else begin
+    Mutex.lock p.p_lock;
+    p.p_fill <- Pf_queued { pf_base = base; pf_cap = cap };
+    Mutex.unlock p.p_lock;
+    p.p_submit (fun () -> prefetch_run_fill ~async:true c p)
+  end
+
+(* Install the next block from the producer chain: steal the fill if no
+   worker started it, wait (counting the stall) if one is mid-decode,
+   then swap the buffers and queue the following fill. *)
+let prefetch_advance c p =
+  (match p.p_fill with
+  | Pf_queued _ -> prefetch_run_fill ~async:false c p
+  | Pf_idle | Pf_filling | Pf_ready _ | Pf_failed -> ());
+  Mutex.lock p.p_lock;
+  (match p.p_fill with
+  | Pf_filling ->
+      let t0 = p.p_now () in
+      while p.p_fill = Pf_filling do
+        Condition.wait p.p_done p.p_lock
+      done;
+      p.p_stalls <- p.p_stalls + 1;
+      p.p_stall_ns <- p.p_stall_ns + (p.p_now () - t0)
+  | Pf_idle | Pf_queued _ | Pf_ready _ | Pf_failed -> ());
+  match p.p_fill with
+  | Pf_ready { pf_base; pf_len; pf_async } ->
+      let old = c.c_block in
+      c.c_block <- p.p_buf;
+      p.p_buf <- old;
+      Mutex.unlock p.p_lock;
+      c.c_base <- pf_base;
+      c.c_len <- pf_len;
+      c.c_refills <- c.c_refills + 1;
+      if pf_async then p.p_async <- p.p_async + 1;
+      prefetch_queue c p
+  | Pf_failed ->
+      let e, bt =
+        match p.p_error with Some eb -> eb | None -> assert false
+      in
+      Mutex.unlock p.p_lock;
+      Printexc.raise_with_backtrace e bt
+  | Pf_idle | Pf_queued _ | Pf_filling ->
+      (* [Pf_idle] needs [c_base + c_len = c_length], which the length
+         guard in [chunk_advance] already rejected; the other two are
+         excluded by the wait above. *)
+      Mutex.unlock p.p_lock;
+      assert false
+
 (* Advance a chunked schedule so its block covers [time], decoding
    whole blocks from the generator. The block is refilled in place:
    once time moves past an entry it is gone for good, hence the
@@ -201,20 +333,19 @@ let chunk_advance ~op c time =
            op time l)
   | _ -> ());
   while time >= c.c_base + c.c_len do
-    let base = c.c_base + c.c_len in
-    let cap =
-      match c.c_length with
-      | Some l -> Stdlib.min (Array.length c.c_block) (l - base)
-      | None -> Array.length c.c_block
-    in
-    let gen = c.c_gen in
-    for k = 0 to cap - 1 do
-      let i = gen (base + k) in
-      check_interaction ~n:c.c_node_count i;
-      Array.unsafe_set c.c_block k (Interaction.to_int i)
-    done;
-    c.c_base <- base;
-    c.c_len <- cap
+    match c.c_prefetch with
+    | Some p -> prefetch_advance c p
+    | None ->
+        let base = c.c_base + c.c_len in
+        let cap =
+          match c.c_length with
+          | Some l -> Stdlib.min (Array.length c.c_block) (l - base)
+          | None -> Array.length c.c_block
+        in
+        fill_block ~n:c.c_node_count c.c_gen c.c_block base cap;
+        c.c_base <- base;
+        c.c_len <- cap;
+        c.c_refills <- c.c_refills + 1
   done
 
 let chunk_get ~op c time =
@@ -232,6 +363,54 @@ let chunk_view sched time =
       (c.c_block, off, c.c_len - off)
   | Live _ | Frozen _ ->
       invalid_arg "Schedule.chunk_view: not a chunked schedule"
+
+type chunk_stats = {
+  refills : int;
+  prefetched : int;
+  stalls : int;
+  stall_ns : int;
+}
+
+let chunk_stats = function
+  | Chunked c -> (
+      match c.c_prefetch with
+      | None ->
+          { refills = c.c_refills; prefetched = 0; stalls = 0; stall_ns = 0 }
+      | Some p ->
+          {
+            refills = c.c_refills;
+            prefetched = p.p_async;
+            stalls = p.p_stalls;
+            stall_ns = p.p_stall_ns;
+          })
+  | Live _ | Frozen _ -> { refills = 0; prefetched = 0; stalls = 0; stall_ns = 0 }
+
+let chunk_prefetch sched ~submit ~now =
+  match sched with
+  | Chunked c -> (
+      match c.c_prefetch with
+      | Some _ -> ()  (* already pipelined; keep the running producer chain *)
+      | None ->
+          let p =
+            {
+              p_submit = submit;
+              p_now = now;
+              p_lock = Mutex.create ();
+              p_done = Condition.create ();
+              p_buf =
+                Array.make (Array.length c.c_block)
+                  (Interaction.to_int Interaction.dummy);
+              p_fill = Pf_idle;
+              p_error = None;
+              p_async = 0;
+              p_stalls = 0;
+              p_stall_ns = 0;
+            }
+          in
+          c.c_prefetch <- Some p;
+          prefetch_queue c p)
+  | Live _ | Frozen _ ->
+      invalid_arg "Schedule.chunk_prefetch: not a chunked schedule"
 
 let get sched time =
   if time < 0 then invalid_arg "Schedule.get: negative time";

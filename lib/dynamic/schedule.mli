@@ -118,6 +118,42 @@ val chunk_view : t -> int -> int array * int * int
     @raise Invalid_argument on a non-chunked schedule, a negative
     time, or a time before the current block (forward-only). *)
 
+val chunk_prefetch : t -> submit:((unit -> unit) -> unit) -> now:(unit -> int) -> unit
+(** [chunk_prefetch s ~submit ~now] turns a chunked schedule into a
+    two-stage pipeline: a producer task (queued through [submit],
+    typically {!Doda_sim.Pool}'s job queue) decodes the {e next} block
+    into a spare buffer while the consumer drains the current one; on
+    advance the buffers swap and the next fill is queued. [now] is a
+    monotonic ns clock used only to account consumer stall time.
+
+    Determinism is unchanged: the generator is still called exactly
+    once per index in increasing order (exactly one fill is in flight
+    at any moment), so the draw stream — and everything derived from
+    it — is identical with or without prefetch. If no worker has
+    started a queued fill when the consumer needs it, the consumer
+    steals and runs it inline, so a busy or empty pool can never
+    deadlock the run (it just degrades to the synchronous path).
+
+    After this call the schedule must be advanced from a single
+    consumer domain (the producer side is synchronized internally).
+    Idempotent: a second call keeps the running producer chain.
+    A generator exception is re-raised on the consumer at the advance
+    that needs the failed block.
+    @raise Invalid_argument on a non-chunked schedule. *)
+
+type chunk_stats = {
+  refills : int;  (** blocks installed as current — deterministic *)
+  prefetched : int;  (** installed blocks that a pool task decoded *)
+  stalls : int;  (** consumer waits on an unfinished fill *)
+  stall_ns : int;  (** total time spent in those waits *)
+}
+(** [refills] depends only on the draw stream and block size, so it is
+    safe to surface in jobs-invariant output; the other three are
+    timing-dependent (zero without {!chunk_prefetch}). *)
+
+val chunk_stats : t -> chunk_stats
+(** Streaming counters of a chunked schedule; all-zero for other forms. *)
+
 val materialized : t -> int
 (** Number of interactions materialised so far. For a chunked schedule
     this is the high-water mark of decoded times — only the last block

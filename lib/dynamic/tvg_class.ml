@@ -287,10 +287,24 @@ let tree_edge_ints rng ~n =
 
 let gen_t_interval rng ~n ~window =
   if n < 2 then invalid_arg "Tvg_class.gen_t_interval: need n >= 2";
-  if window < n - 1 then
+  if window = 1 then
+    (* 1-interval (per-step connectivity): emit back-to-back fresh
+       spanning trees with no fillers — the tightest refresh the
+       pairwise-interaction model supports. A single interaction only
+       connects n = 2, so for larger n the schedule realizes
+       T-interval (n - 1): every tumbling (n - 1)-window is exactly
+       one spanning tree (the validator round-trips at that width). *)
+    block_generator ~what:"Tvg_class.gen_t_interval" ~window:(n - 1)
+      (fun block ->
+        let edges = tree_edge_ints rng ~n in
+        Array.blit edges 0 block 0 (n - 1);
+        Prng.shuffle rng block)
+  else if window < n - 1 then
     invalid_arg
-      "Tvg_class.gen_t_interval: window must be >= n - 1 (a window must fit a \
-       spanning tree)";
+      "Tvg_class.gen_t_interval: window must be 1 (per-step connectivity, \
+       realized as back-to-back spanning trees) or >= n - 1 (a window must \
+       fit a spanning tree)"
+  else
   block_generator ~what:"Tvg_class.gen_t_interval" ~window (fun block ->
       (* Fresh spanning tree per window, buried among uniform fillers. *)
       let edges = tree_edge_ints rng ~n in

@@ -125,8 +125,15 @@ val gen_t_interval : Doda_prng.Prng.t -> n:int -> window:int -> int -> Interacti
     tumbling window hides a fresh uniform spanning tree at shuffled
     positions among uniform filler pairs — connected by construction,
     with nothing else promised.
-    @raise Invalid_argument if [window < n - 1] (a window must fit a
-    spanning tree). *)
+
+    [~window:1] is the 1-interval (per-step connectivity) special
+    case: back-to-back fresh spanning trees with {e no} fillers, the
+    tightest refresh the pairwise-interaction model supports (one
+    interaction only connects [n = 2], so for larger [n] the schedule
+    realizes — and validates as — [T_interval (n - 1)], every tumbling
+    [(n - 1)]-window being exactly one spanning tree).
+    @raise Invalid_argument if [1 < window < n - 1] (a window must fit
+    a spanning tree). *)
 
 val gen_bounded_recurrent :
   Doda_prng.Prng.t -> n:int -> bound:int -> int -> Interaction.t

@@ -66,52 +66,84 @@ let replicate_par ?pool ?jobs ?(telemetry = Instrument.disabled) ~replications
     (fun tel rng -> Instrument.with_span tel "replicate" (fun () -> f rng))
     (split_seeds ~replications ~seed)
 
+(* The batch telemetry fold: one batch pass worth of engine counters. *)
+let record_batch_counters tel (stats : Doda_core.Batch_engine.stats) =
+  let m = Instrument.metrics tel in
+  Doda_obs.Metrics.incr (Doda_obs.Metrics.counter m "batch.runs");
+  Doda_obs.Metrics.add (Doda_obs.Metrics.counter m "batch.decodes") stats.decodes;
+  Doda_obs.Metrics.add
+    (Doda_obs.Metrics.counter m "batch.rep_steps")
+    stats.lane_steps
+
 let replicate_batched ?pool ?jobs ?(telemetry = Instrument.disabled) ?max_steps
     ?(record = `Count) ~replications ~seed algo schedule =
-  if not (Doda_dynamic.Schedule.is_frozen schedule) then
-    invalid_arg
-      "Experiment.replicate_batched: the schedule must be frozen (it is \
-       shared read-only across batch tasks)";
   if not (Doda_core.Batch_engine.batch_supported algo) then
     invalid_arg
-      (Printf.sprintf "Experiment.replicate_batched: %s has no batch rule"
+      (Printf.sprintf
+         "Experiment.replicate_batched: %s has no batch rule; fall back to \
+          the scalar path — Experiment.replicate_par with Engine.run per \
+          replication"
          algo.Doda_core.Algorithm.name);
   (* One stream per replication, split up front in index order exactly
      like [replicate_par]; batch [b] receives the contiguous slice its
      replications would have received scalar, so the partition into
      batches (and the job count) cannot change any result. *)
   let seeds = split_seeds ~replications ~seed in
-  let width = Doda_core.Batch_engine.word_bits in
-  let batches = (replications + width - 1) / width in
-  let starts = Array.init batches (fun b -> b * width) in
-  let jobs =
-    match (pool, jobs) with
-    | None, None -> Some (Pool.default_jobs ())
-    | _ -> jobs
-  in
-  let chunks =
-    dispatch_instrumented ?pool ?jobs ~telemetry
-      (fun tel start ->
-        let count = Stdlib.min width (replications - start) in
-        let rngs = Array.sub seeds start count in
-        Instrument.with_span tel "batch" (fun () ->
-            let stats = Doda_core.Batch_engine.stats () in
-            let results =
-              Doda_core.Batch_engine.run_reps ?max_steps ~record ~rngs ~stats
-                algo schedule count
-            in
-            let m = Instrument.metrics tel in
-            Doda_obs.Metrics.incr (Doda_obs.Metrics.counter m "batch.runs");
-            Doda_obs.Metrics.add
-              (Doda_obs.Metrics.counter m "batch.decodes")
-              stats.decodes;
-            Doda_obs.Metrics.add
-              (Doda_obs.Metrics.counter m "batch.rep_steps")
-              stats.lane_steps;
-            results))
-      starts
-  in
-  Array.concat (Array.to_list chunks)
+  if Doda_dynamic.Schedule.is_frozen schedule then begin
+    (* Frozen: shared read-only backing, so batches of [word_bits]
+       replications fan out across the pool. *)
+    let width = Doda_core.Batch_engine.word_bits in
+    let batches = (replications + width - 1) / width in
+    let starts = Array.init batches (fun b -> b * width) in
+    let jobs =
+      match (pool, jobs) with
+      | None, None -> Some (Pool.default_jobs ())
+      | _ -> jobs
+    in
+    let chunks =
+      dispatch_instrumented ?pool ?jobs ~telemetry
+        (fun tel start ->
+          let count = Stdlib.min width (replications - start) in
+          let rngs = Array.sub seeds start count in
+          Instrument.with_span tel "batch" (fun () ->
+              let stats = Doda_core.Batch_engine.stats () in
+              let results =
+                Doda_core.Batch_engine.run_reps ?max_steps ~record ~rngs ~stats
+                  algo schedule count
+              in
+              record_batch_counters tel stats;
+              results))
+        starts
+    in
+    Array.concat (Array.to_list chunks)
+  end
+  else begin
+    (* Live or chunked: the schedule mutates as it advances, so it
+       cannot be shared across tasks — all replications run in one
+       lockstep pass on the calling domain (the engine packs them
+       [word_bits] per plane word however many there are). A pool, if
+       any, contributes pipeline parallelism instead: block decodes of
+       a chunked schedule run as producer jobs overlapped with this
+       consumer. *)
+    let run_single producer =
+      (match producer with Some p -> Pool.pipeline p schedule | None -> ());
+      Instrument.with_span telemetry "batch" (fun () ->
+          let stats = Doda_core.Batch_engine.stats () in
+          let results =
+            Doda_core.Batch_engine.run_reps ?max_steps ~record ~rngs:seeds
+              ~stats algo schedule replications
+          in
+          record_batch_counters telemetry stats;
+          Instrument.record_chunk_stats telemetry schedule;
+          results)
+    in
+    match pool with
+    | Some p -> run_single (Some p)
+    | None -> (
+        match jobs with
+        | None | Some 1 -> run_single None
+        | Some j -> Pool.with_pool ~jobs:j (fun p -> run_single (Some p)))
+  end
 
 let of_results ~label ~n results =
   let samples = ref [] in
@@ -188,6 +220,69 @@ let run_schedule_factory ?pool ?jobs ?(telemetry = Instrument.disabled)
             result.Engine.duration)
       (Array.init replications Fun.id)
   in
+  of_durations ~label ~n durations
+
+(* Checkpointed batched sweep over ONE shared schedule: the lockstep
+   dual of [run_schedule_factory], which draws a fresh schedule per
+   replication. Semantically a different experiment — R lockstep lanes
+   over one trace (the adversary-replay setting) versus R independent
+   traces — hence a separate entry point and CLI flag rather than a
+   mode of the scalar sweep.
+
+   Seed discipline: the master's FIRST split is the schedule stream,
+   the next [replications] splits are the per-slot streams, all drawn
+   in slot order on the calling domain. Streams are independent across
+   slots, so running only the uncached subset of lanes hands each lane
+   exactly the stream an uninterrupted run would have — checkpointed
+   resume is bit-identical. *)
+let run_batched_factory ?pool ?(telemetry = Instrument.disabled) ?checkpoint
+    ?(replications = 20) ?(seed = 42) ~max_steps ~label ~n factory algo =
+  let master = Prng.create seed in
+  let sched_rng = Prng.split master in
+  let seeds = Array.init replications (fun _ -> Prng.split master) in
+  let durations = Array.make replications None in
+  let todo = ref [] in
+  for slot = replications - 1 downto 0 do
+    let cached =
+      match checkpoint with
+      | None -> None
+      | Some cp -> (
+          match Checkpoint.find cp slot with
+          | None -> None
+          | Some payload -> decode_duration payload)
+    in
+    match cached with
+    | Some duration -> durations.(slot) <- duration
+    | None -> todo := slot :: !todo
+  done;
+  let todo = Array.of_list !todo in
+  if Array.length todo > 0 then begin
+    let schedule =
+      Instrument.with_span telemetry "schedule/build" (fun () ->
+          factory sched_rng)
+    in
+    (match pool with Some p -> Pool.pipeline p schedule | None -> ());
+    let rngs = Array.map (fun slot -> seeds.(slot)) todo in
+    let results =
+      Instrument.with_span telemetry "batch" (fun () ->
+          let stats = Doda_core.Batch_engine.stats () in
+          let results =
+            Doda_core.Batch_engine.run_reps ~max_steps ~record:`Count ~rngs
+              ~stats algo schedule (Array.length todo)
+          in
+          record_batch_counters telemetry stats;
+          Instrument.record_chunk_stats telemetry schedule;
+          results)
+    in
+    Array.iteri
+      (fun i slot ->
+        let d = results.(i).Engine.duration in
+        (match checkpoint with
+        | Some cp -> Checkpoint.record cp slot (encode_duration d)
+        | None -> ());
+        durations.(slot) <- d)
+      todo
+  end;
   of_durations ~label ~n durations
 
 let run_uniform ?pool ?jobs ?telemetry ?replications ?seed ?(sink = 0)

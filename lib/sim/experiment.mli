@@ -66,26 +66,40 @@ val replicate_batched :
   Doda_core.Engine.result array
 (** [replicate_batched ~replications ~seed algo sched] runs
     [replications] lockstep replications of a batch-capable [algo]
-    over one shared {e frozen} schedule, in bit-parallel batches of
-    {!Doda_core.Batch_engine.word_bits} replications — each batch one
-    pool task. [record] defaults to [`Count] (measurement paths
-    consume durations).
+    over one shared schedule. [record] defaults to [`Count]
+    (measurement paths consume durations).
+
+    {e Frozen} schedules have a shared read-only backing, so the
+    replications fan out over the pool in bit-parallel batches of
+    {!Doda_core.Batch_engine.word_bits} — each batch one pool task.
+    {e Live and chunked} schedules mutate as they advance and cannot
+    be shared across tasks: all replications run in one lockstep pass
+    on the calling domain instead, and a [pool] (or [jobs >= 2])
+    contributes {!Pool.pipeline} parallelism — a producer task decodes
+    the next block of a chunked schedule while this consumer drains
+    the current one. Memory stays O(block), never O(T): streamed
+    replication suites at n >= 10^5 no longer need a frozen copy.
 
     Streams come from {!split_seeds} exactly like {!replicate_par}:
-    replication [k] receives stream [k] whatever the batch partition
-    or job count, so results are bit-identical at any [jobs] (for coin
-    algorithms, the batch path draws from these per-replication
-    streams — not from the master captured at algorithm construction,
-    which the scalar [Engine.run] path splits).
+    replication [k] receives stream [k] whatever the batch partition,
+    schedule form, or job count, so results are bit-identical at any
+    [jobs] (for coin algorithms, the batch path draws from these
+    per-replication streams — not from the master captured at
+    algorithm construction, which the scalar [Engine.run] path
+    splits).
 
     [telemetry] records one ["batch"] span per batch plus the
     [batch.runs] / [batch.decodes] / [batch.rep_steps] counters:
     [rep_steps / decodes] is the decode amortisation, and dividing
     further by {!Doda_core.Batch_engine.word_bits} gives batch
-    occupancy.
+    occupancy. Chunked passes also fold in [stream.refills]
+    ({!Doda_obs.Instrument.record_chunk_stats} — the deterministic
+    counter only).
 
-    @raise Invalid_argument if the schedule is not frozen or the
-    algorithm has no batch rule. *)
+    @raise Invalid_argument if the algorithm has no batch rule (the
+    message names the algorithm and the scalar fallback,
+    {!replicate_par} with [Engine.run]), or if [max_steps] is missing
+    for an unbounded schedule. *)
 
 val of_results : label:string -> n:int -> Doda_core.Engine.result array -> measurement
 
@@ -125,6 +139,38 @@ val run_schedule_factory :
     resume yields the measurement bit-identical to an uninterrupted
     run. Telemetry of skipped slots is not replayed (counters cover
     only the work actually performed this run). *)
+
+val run_batched_factory :
+  ?pool:Pool.t -> ?telemetry:Doda_obs.Instrument.t ->
+  ?checkpoint:Checkpoint.t ->
+  ?replications:int -> ?seed:int -> max_steps:int ->
+  label:string -> n:int ->
+  (Doda_prng.Prng.t -> Doda_dynamic.Schedule.t) ->
+  Doda_core.Algorithm.t -> measurement
+(** Lockstep dual of {!run_schedule_factory}: ONE schedule, built once
+    by [factory] from a dedicated stream, with all replications run
+    over it in a single bit-parallel {!Doda_core.Batch_engine.run_reps}
+    pass on the calling domain. Semantically a different experiment —
+    R lanes over one trace (the adversary-replay setting of the paper
+    and the class-constrained workloads) versus R independent traces —
+    which is why it is a separate entry point rather than a mode of
+    the scalar sweep.
+
+    Works on any schedule form the batch engine accepts; with a
+    chunked factory the sweep streams in O(block) memory, and [pool]
+    adds a pipelined producer ({!Pool.pipeline}). Results are
+    bit-identical at any job count: the pool only moves {e where}
+    block decodes happen, never what they produce.
+
+    Seed discipline: the master's first split is the schedule stream,
+    the next [replications] splits are the per-slot streams, all drawn
+    in slot order on the calling domain. [checkpoint] resumes
+    bit-identically: cached slots are skipped and the remaining lanes
+    receive exactly the streams an uninterrupted run would have
+    (streams are independent across slots, so running a subset of
+    lanes does not perturb the rest).
+
+    @raise Invalid_argument as {!replicate_batched}. *)
 
 val replicate_duels :
   ?pool:Pool.t -> ?jobs:int -> ?knowledge:Doda_core.Knowledge.t ->

@@ -134,6 +134,19 @@ let map_array_sharded pool ~make ~merge f arr =
     | Error (e, bt) -> Printexc.raise_with_backtrace e bt
   end
 
+(* Pipeline a chunked schedule's block decodes through the pool: each
+   refill is queued as a producer job that fills a spare buffer while
+   the consumer drains the current block. With no workers (jobs = 1)
+   there is nobody to overlap with, so leave the schedule on the
+   synchronous refill path — this also keeps jobs=1 runs exactly as
+   allocated before. Safe on any schedule form: non-chunked is a
+   no-op. *)
+let pipeline pool sched =
+  if Array.length pool.workers > 0 && Doda_dynamic.Schedule.is_chunked sched
+  then
+    Doda_dynamic.Schedule.chunk_prefetch sched ~submit:(submit pool)
+      ~now:(fun () -> Int64.to_int (Monotonic_clock.now ()))
+
 let shutdown pool =
   Mutex.lock pool.lock;
   let was_closed = pool.closed in

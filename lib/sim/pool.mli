@@ -59,6 +59,16 @@ val map_array_sharded :
     over shards — true for commutative, associative combines such as
     the integer sums and maxima of {!Doda_obs.Metrics.absorb}. *)
 
+val pipeline : t -> Doda_dynamic.Schedule.t -> unit
+(** [pipeline pool sched] enables producer/consumer pipelining on a
+    chunked schedule ({!Doda_dynamic.Schedule.chunk_prefetch} wired to
+    this pool's job queue): block decodes run as pool jobs, overlapped
+    with the consumer draining the current block. A no-op when the
+    pool has no worker domains (jobs = 1) or the schedule is not
+    chunked, so callers can apply it unconditionally. Draw streams are
+    unchanged — the generator still runs exactly once per index in
+    order — so results stay bit-identical at any job count. *)
+
 val shutdown : t -> unit
 (** Stop and join all worker domains. Idempotent. Any use of the pool
     after [shutdown] (other than [shutdown]) raises. *)

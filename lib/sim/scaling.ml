@@ -4,10 +4,14 @@ module Regression = Doda_stats.Regression
 type point = { n : int; mean : float; std_error : float; success : float }
 
 let point_of (m : Experiment.measurement) =
+  (* A point where every replication hit its budget has no samples;
+     report it as nan/0 rather than raising so capped sweeps
+     (--max-steps) still print their table. *)
+  let empty = Array.length m.samples = 0 in
   {
     n = m.n;
-    mean = Experiment.mean m;
-    std_error = Descriptive.std_error m.samples;
+    mean = (if empty then Float.nan else Experiment.mean m);
+    std_error = (if empty then Float.nan else Descriptive.std_error m.samples);
     success = Experiment.success_rate m;
   }
 

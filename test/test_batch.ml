@@ -197,6 +197,123 @@ let prop_run_reps_generator =
           Algorithms.waiting_greedy ~tau:(Theory.recommended_tau n);
         ])
 
+(* ------------------------------------------------------------------ *)
+(* Streamed (chunked) batch: one chunk decode drives all lanes. The
+   streamed pass must be bit-identical to the frozen pass and to
+   scalar runs — across widths around the word boundary and with
+   blocks far smaller than the schedule, so the ring recycles many
+   times mid-run. *)
+
+let sequence_of (n, len, seed) =
+  let rng = Prng.create seed in
+  let s = Generators.uniform_sequence rng ~n ~length:len in
+  let sink = Prng.int rng n in
+  (s, sink)
+
+let chunked_of ~block (n, len, seed) =
+  let s, sink = sequence_of (n, len, seed) in
+  Schedule.of_fun_chunked ~block ~length:(Doda_dynamic.Sequence.length s) ~n
+    ~sink
+    (fun t -> Doda_dynamic.Sequence.get s t)
+
+let widths = [ 1; 62; 63; 64; 65; 130 ]
+
+let prop_streamed_reps_match_frozen =
+  QCheck.Test.make ~count:25
+    ~name:"batch: streamed run_reps = frozen run_reps = scalar (deterministic)"
+    instance_arb
+    (fun ((n, _, seed) as inst) ->
+      let frozen = frozen_of inst in
+      let block = 1 + (seed mod 7) in
+      List.for_all
+        (fun algo ->
+          let scalar = Engine.run algo frozen in
+          List.for_all
+            (fun r ->
+              let froz = Batch_engine.run_reps algo frozen r in
+              let stream =
+                Batch_engine.run_reps algo (chunked_of ~block inst) r
+              in
+              Array.length stream = r
+              && Array.for_all2 same_result froz stream
+              && Array.for_all (fun b -> same_result scalar b) stream)
+            widths)
+        (* Meet-time policies are excluded by design: their oracle
+           needs replay, which a chunked schedule refuses. *)
+        (ignore n;
+         [ Algorithms.waiting; Algorithms.gathering ]
+         @ Gathering_variants.all))
+
+let prop_streamed_coin_reps_match_frozen =
+  QCheck.Test.make ~count:20
+    ~name:"batch: streamed coin run_reps = frozen run_reps (per-rep streams)"
+    instance_arb
+    (fun ((_, _, seed) as inst) ->
+      let frozen = frozen_of inst in
+      let block = 1 + (seed mod 5) in
+      List.for_all
+        (fun (mk, p) ->
+          List.for_all
+            (fun r ->
+              let rngs = Prng.split_n (Prng.create 1234) r in
+              let froz =
+                Batch_engine.run_reps ~rngs (mk (Prng.create 1234) ~p) frozen r
+              in
+              let rngs = Prng.split_n (Prng.create 1234) r in
+              let stream =
+                Batch_engine.run_reps ~rngs
+                  (mk (Prng.create 1234) ~p)
+                  (chunked_of ~block inst) r
+              in
+              Array.for_all2 same_result froz stream)
+            widths)
+        [
+          (Coin_algorithms.coin_waiting, 0.4);
+          (Coin_algorithms.coin_gathering, 0.25);
+        ])
+
+(* Error paths, pinned verbatim: a batch-incapable algorithm must be
+   named, and the message must point at the scalar fallback. *)
+let test_no_batch_rule_messages () =
+  let sched = frozen_of (6, 50, 1) in
+  let expect_engine =
+    "Batch_engine.run_reps: full-knowledge has no batch rule (Token_sink / \
+     Coin_sink / Coin_gather / Gather / Meet_policy); fall back to the \
+     scalar Engine.run per replication (Experiment.replicate_par)"
+  in
+  Alcotest.check_raises "Batch_engine.run_reps names algo and fallback"
+    (Invalid_argument expect_engine) (fun () ->
+      ignore (Batch_engine.run_reps Algorithms.full_knowledge sched 3));
+  let expect_experiment =
+    "Experiment.replicate_batched: full-knowledge has no batch rule; fall \
+     back to the scalar path — Experiment.replicate_par with Engine.run per \
+     replication"
+  in
+  Alcotest.check_raises "Experiment.replicate_batched names algo and fallback"
+    (Invalid_argument expect_experiment) (fun () ->
+      ignore
+        (Doda_sim.Experiment.replicate_batched ~jobs:1 ~replications:3 ~seed:1
+           Algorithms.full_knowledge sched))
+
+(* replicate_batched on a non-frozen schedule: the frozen-only
+   restriction is lifted — a chunked schedule runs single-pass on the
+   caller and must equal the frozen fan-out result. *)
+let prop_replicate_batched_chunked =
+  QCheck.Test.make ~count:15
+    ~name:"batch: replicate_batched chunked = frozen" instance_arb
+    (fun ((_, _, seed) as inst) ->
+      let frozen = frozen_of inst in
+      let on_frozen =
+        Doda_sim.Experiment.replicate_batched ~jobs:1 ~record:`All
+          ~replications:70 ~seed:5 Algorithms.gathering frozen
+      in
+      let on_chunked =
+        Doda_sim.Experiment.replicate_batched ~jobs:1 ~record:`All
+          ~replications:70 ~seed:5 Algorithms.gathering
+          (chunked_of ~block:(1 + (seed mod 9)) inst)
+      in
+      Array.for_all2 same_result on_frozen on_chunked)
+
 (* `Count recording drops the log but nothing else. *)
 let prop_count_mode =
   QCheck.Test.make ~count:30 ~name:"batch: `Count = `All minus the log"
@@ -256,6 +373,17 @@ let () =
             Alcotest.test_case "remainder widths" `Quick test_remainder_widths;
             Alcotest.test_case "live-mask early stop" `Quick
               test_live_mask_early_stop;
+          ] );
+      ( "streamed",
+        List.map to_alcotest
+          [
+            prop_streamed_reps_match_frozen;
+            prop_streamed_coin_reps_match_frozen;
+            prop_replicate_batched_chunked;
+          ]
+        @ [
+            Alcotest.test_case "no-batch-rule messages" `Quick
+              test_no_batch_rule_messages;
           ] );
       ( "sweep",
         List.map to_alcotest

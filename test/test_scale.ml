@@ -16,8 +16,10 @@ module Batch_engine = Doda_core.Batch_engine
 module Run_log = Doda_core.Run_log
 module Algorithms = Doda_core.Algorithms
 module Brute_force = Doda_core.Brute_force
+module Coin_algorithms = Doda_core.Coin_algorithms
 module Experiment = Doda_sim.Experiment
 module Checkpoint = Doda_sim.Checkpoint
+module Pool = Doda_sim.Pool
 module Instrument = Doda_obs.Instrument
 module Metrics = Doda_obs.Metrics
 module Resource = Doda_obs.Resource
@@ -103,6 +105,69 @@ let prop_batch_on_chunked =
         Batch_engine.run_reps ~max_steps Algorithms.gathering (chunked ()) 5
       in
       Array.for_all (fun b -> same_result scalar b) batch)
+
+(* The pipelined producer must not change a single draw: a prefetched
+   chunked schedule is run-identical to a plain one, both with an
+   inline submit (every fill stolen by the consumer) and through a
+   real worker pool ([Pool.pipeline]). *)
+let prop_prefetch_matches_plain =
+  QCheck.Test.make ~count:40
+    ~name:"prefetched chunked schedule = plain chunked schedule"
+    instance_arb
+    (fun (n, block, seed) ->
+      let max_steps = (40 * n * n) + 100 in
+      let chunked () =
+        Schedule.of_fun_chunked ~block ~n ~sink:0
+          (Generators.uniform (Prng.create seed) ~n)
+      in
+      let run sched = Engine.run ~record:`All ~max_steps Algorithms.gathering sched in
+      let plain = run (chunked ()) in
+      let inline =
+        let s = chunked () in
+        Schedule.chunk_prefetch s ~submit:(fun f -> f ()) ~now:(fun () -> 0);
+        run s
+      in
+      let pooled =
+        Pool.with_pool ~jobs:2 (fun pool ->
+            let s = chunked () in
+            Pool.pipeline pool s;
+            run s)
+      in
+      same_result plain inline && same_result plain pooled)
+
+(* Chunk-stream counters: refills count every installed block (and so
+   are deterministic at any job count); the pipeline counters only
+   ever credit a subset of them. *)
+let test_chunk_stats () =
+  let len = 100 and block = 8 in
+  let blocks = (len + block - 1) / block in
+  let mk () =
+    Schedule.of_fun_chunked ~block ~length:len ~n:4 ~sink:0 (fun t ->
+        Interaction.make 0 ((t mod 3) + 1))
+  in
+  let drain s =
+    for t = 0 to len - 1 do
+      ignore (Schedule.get_exn s t)
+    done;
+    Schedule.chunk_stats s
+  in
+  let plain = drain (mk ()) in
+  Alcotest.(check int) "refills = ceil(len/block)" blocks plain.Schedule.refills;
+  Alcotest.(check int) "no producer, nothing prefetched" 0
+    plain.Schedule.prefetched;
+  let pf = mk () in
+  Schedule.chunk_prefetch pf ~submit:(fun f -> f ()) ~now:(fun () -> 0);
+  Schedule.chunk_prefetch pf ~submit:(fun f -> f ()) ~now:(fun () -> 0);
+  (* idempotent: the second call must not add a second producer *)
+  let piped = drain pf in
+  Alcotest.(check int) "refills unchanged under prefetch" blocks
+    piped.Schedule.refills;
+  Alcotest.(check bool) "prefetched in (0, refills]" true
+    (piped.Schedule.prefetched > 0
+    && piped.Schedule.prefetched <= piped.Schedule.refills);
+  let z = Schedule.chunk_stats (Schedule.of_fun ~n:4 ~sink:0 (fun _ -> Interaction.dummy)) in
+  Alcotest.(check int) "non-chunked schedules report zero refills" 0
+    z.Schedule.refills
 
 (* Generator-call discipline: exactly once per index, in increasing
    order, never more than one block past the highest time read. *)
@@ -332,6 +397,56 @@ let test_checkpoint_resume_bit_identical () =
     resumed.Experiment.failures;
   Sys.remove path
 
+(* Same kill-and-resume discipline for the streamed batched sweep:
+   one shared chunked schedule, lockstep lanes, a coin algorithm so
+   every lane actually consumes its own slot stream. The interrupted
+   run must rebuild the identical schedule (first master split) and
+   hand the surviving lanes exactly their original streams. *)
+let test_batched_factory_resume_bit_identical () =
+  let n = 10 and reps = 8 and seed = 2016 in
+  let algo = Coin_algorithms.coin_waiting (Prng.create 77) ~p:0.4 in
+  let factory rng =
+    Schedule.of_fun_chunked ~block:16 ~n ~sink:0 (Generators.uniform rng ~n)
+  in
+  let run ?checkpoint () =
+    Experiment.run_batched_factory ?checkpoint ~replications:reps ~seed
+      ~max_steps:(40 * n * n) ~label:"batch-resume" ~n factory algo
+  in
+  let baseline = run () in
+  let path = temp_path () in
+  let key = "batch-resume-test v1" in
+  let cp = Checkpoint.create ~path ~key in
+  let full = run ~checkpoint:cp () in
+  Checkpoint.close cp;
+  Alcotest.(check (array (float 0.0))) "checkpointed = baseline"
+    baseline.Experiment.samples full.Experiment.samples;
+  (* Interrupt: keep only the header and the first 3 recorded slots. *)
+  let lines =
+    let ic = open_in path in
+    let rec all acc =
+      match input_line ic with
+      | line -> all (line :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    all []
+  in
+  let kept = List.filteri (fun i _ -> i < 4) lines in
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) kept;
+  close_out oc;
+  let cp = Checkpoint.create ~path ~key in
+  Alcotest.(check int) "3 slots survive the interruption" 3
+    (Checkpoint.completed cp);
+  let resumed = run ~checkpoint:cp () in
+  Checkpoint.close cp;
+  Alcotest.(check (array (float 0.0))) "resumed = baseline"
+    baseline.Experiment.samples resumed.Experiment.samples;
+  Alcotest.(check int) "failures preserved" baseline.Experiment.failures
+    resumed.Experiment.failures;
+  Sys.remove path
+
 (* ------------------------------------------------------------------ *)
 (* Satellite (b): resource gauges.                                    *)
 
@@ -399,6 +514,8 @@ let () =
           QCheck_alcotest.to_alcotest prop_chunked_matches_of_fun;
           QCheck_alcotest.to_alcotest prop_finite_chunked_matches_sequence;
           QCheck_alcotest.to_alcotest prop_batch_on_chunked;
+          QCheck_alcotest.to_alcotest prop_prefetch_matches_plain;
+          Alcotest.test_case "chunk stats" `Quick test_chunk_stats;
           Alcotest.test_case "generator call discipline" `Quick
             test_chunked_gen_discipline;
           Alcotest.test_case "forward-only and oracle errors" `Quick
@@ -417,6 +534,8 @@ let () =
             test_checkpoint_torn_line;
           Alcotest.test_case "kill-and-resume bit-identical" `Quick
             test_checkpoint_resume_bit_identical;
+          Alcotest.test_case "batched sweep kill-and-resume bit-identical"
+            `Quick test_batched_factory_resume_bit_identical;
         ] );
       ( "resources",
         [

@@ -121,6 +121,43 @@ let prop_generators_deterministic =
       in
       Sequence.equal once again)
 
+(* The 1-interval special case: per-step connectivity in the pairwise
+   model means back-to-back spanning trees with no fillers, realized —
+   and validated — as T_interval (n - 1). *)
+let test_one_interval_roundtrip () =
+  let n = 7 in
+  let len = n * (n - 1) in
+  let s = materialize (Tvg.gen_t_interval (Prng.create 11) ~n ~window:1) len in
+  check_ok "validates T_interval (n-1)"
+    (Tvg.validate ~n (Tvg.T_interval (n - 1)) s);
+  check_ok "temporal" (Tvg.validate ~n Tvg.Temporal s);
+  (* Every (n-1)-window is exactly one spanning tree: n - 1 distinct
+     edges touching all n nodes. *)
+  for w = 0 to (len / (n - 1)) - 1 do
+    let edges = Hashtbl.create 8 in
+    let nodes = Array.make n false in
+    for t = w * (n - 1) to ((w + 1) * (n - 1)) - 1 do
+      let i = Sequence.get s t in
+      let u = Interaction.u i and v = Interaction.v i in
+      Hashtbl.replace edges (Stdlib.min u v, Stdlib.max u v) ();
+      nodes.(u) <- true;
+      nodes.(v) <- true
+    done;
+    Alcotest.(check int) "n - 1 distinct edges" (n - 1) (Hashtbl.length edges);
+    Alcotest.(check bool) "all nodes present" true (Array.for_all Fun.id nodes)
+  done;
+  (* n = 2 is the one size where a single interaction is connected. *)
+  let s2 = materialize (Tvg.gen_t_interval (Prng.create 3) ~n:2 ~window:1) 6 in
+  check_ok "n = 2, window 1" (Tvg.validate ~n:2 (Tvg.T_interval 1) s2);
+  (* Through the workload layer: parses and stays in class. *)
+  (match Workload.parse "t-interval:1" with
+  | Ok (Workload.T_interval 1) -> ()
+  | _ -> Alcotest.fail "t-interval:1 should parse");
+  let sched = Workload.schedule (Workload.T_interval 1) ~n ~sink:0 ~seed:5 in
+  let prefix = Schedule.prefix sched len in
+  check_ok "workload 1-interval stays in class"
+    (Tvg.validate ~n (Tvg.T_interval (n - 1)) prefix)
+
 (* min_bound is exact: the summary's bound validates and one less does
    not. *)
 let prop_min_bound_tight =
@@ -299,6 +336,8 @@ let () =
           qtest prop_stream_agrees_with_frozen;
           qtest prop_generators_deterministic;
           qtest prop_min_bound_tight;
+          Alcotest.test_case "1-interval special case" `Quick
+            test_one_interval_roundtrip;
         ] );
       ( "witnesses",
         [
